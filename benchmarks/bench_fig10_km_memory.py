@@ -1,0 +1,58 @@
+"""Fig. 10 — effect of K and M in the in-memory scenario: the
+Recall@10 *ceiling* grid (no rerank, so recall is bounded by code
+precision).
+
+Paper shape: the achievable recall increases monotonically with both K
+and M.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_grid
+from repro.eval.harness import run_km_grid
+
+from common import fmt, save_report
+
+KS = (8, 16, 32)
+MS = (4, 8, 16)
+DATASETS = ("bigann", "deep", "gist")
+
+
+def test_fig10_km_memory(benchmark):
+    def run():
+        return {
+            name: run_km_grid("memory", name, ks=KS, ms=MS, n_base=1000, seed=0)
+            for name in DATASETS
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name, grid in out.items():
+        values = [
+            [
+                fmt(grid[(k, m)]["max_recall"], 2) if (k, m) in grid else "-"
+                for m in MS
+            ]
+            for k in KS
+        ]
+        blocks.append(
+            format_grid(
+                [f"K={k}" for k in KS],
+                [f"M={m}" for m in MS],
+                values,
+                corner="recall",
+                title=f"Fig. 10 [{name}] in-memory: Recall@10 ceiling",
+            )
+        )
+    save_report("fig10_km_memory", "\n\n".join(blocks))
+
+    # Shape check: the largest grid cell reaches a higher ceiling than
+    # the smallest on every dataset where both exist.
+    for name, grid in out.items():
+        small = grid.get((KS[0], MS[0]))
+        keys = [(KS[-1], MS[-1]), (KS[-1], MS[-2])]
+        bigs = [grid[key]["max_recall"] for key in keys if key in grid]
+        if small is None or not bigs:
+            continue
+        assert max(bigs) >= small["max_recall"] - 0.02, name

@@ -1,0 +1,68 @@
+"""Fig. 5 — QPS / Hops / Disk-I/O-time vs Recall@10 in the hybrid
+(SSD + memory) scenario: PQ, OPQ, Catalyst, RPQ atop DiskANN (Vamana).
+
+Expected shape: at matched recall, RPQ needs the fewest hops (hence the
+least I/O) and achieves the highest QPS; curves ordered
+RPQ >= Catalyst >= OPQ >= PQ toward the upper right.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, max_recall, metric_at_recall
+from repro.eval.harness import adaptive_recall_target, prepare, run_curves
+
+from common import BEAMS, DATASETS, N_BASE, N_QUERIES, NUM_CHUNKS, NUM_CODEWORDS, curve_rows, fmt, save_report
+
+METHODS = ("pq", "opq", "catalyst", "rpq")
+
+
+def run():
+    out = {}
+    for name in DATASETS:
+        prepared = prepare(
+            name, "vamana", n_base=N_BASE, n_queries=N_QUERIES, seed=0
+        )
+        out[name] = run_curves(
+            "hybrid", prepared, METHODS, NUM_CHUNKS, NUM_CODEWORDS,
+            beam_widths=BEAMS, seed=0,
+        )
+    return out
+
+
+def test_fig5_hybrid_curves(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    summary_rows = []
+    for name, curves in out.items():
+        blocks.append(
+            format_table(
+                ["method", "beam", "recall@10", "QPS", "hops", "I/O ms"],
+                curve_rows(curves),
+                title=f"Fig. 5 [{name}] hybrid scenario curves",
+            )
+        )
+        target = adaptive_recall_target(curves)
+        row = [name, fmt(target, 3)]
+        for method in METHODS:
+            qps = metric_at_recall(curves[method], target, "qps")
+            row.append(fmt(qps, 1))
+        summary_rows.append(row)
+    blocks.append(
+        format_table(
+            ["dataset", "target recall"] + list(METHODS),
+            summary_rows,
+            title="Fig. 5 summary: QPS at matched recall",
+        )
+    )
+    save_report("fig5_hybrid", "\n\n".join(blocks))
+
+    # Shape check: RPQ at least matches PQ at matched recall per dataset.
+    wins = 0
+    for name, curves in out.items():
+        target = adaptive_recall_target(curves)
+        rpq = metric_at_recall(curves["rpq"], target, "mean_hops")
+        pq = metric_at_recall(curves["pq"], target, "mean_hops")
+        if rpq is not None and pq is not None and rpq <= pq * 1.15:
+            wins += 1
+    assert wins >= 3, "RPQ should need <= hops on most datasets"

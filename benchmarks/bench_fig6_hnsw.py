@@ -1,0 +1,61 @@
+"""Fig. 6 — QPS and Hops vs Recall@10 in the in-memory scenario with
+HNSW as the PG: PQ, OPQ, L&C, Catalyst, RPQ.
+
+Expected shape: RPQ's curve sits to the upper-right (higher recall
+ceiling at the same beam, fewer hops at matched recall).
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, max_recall
+from repro.eval.harness import adaptive_recall_target, metric_at_recall, prepare, run_curves
+
+from common import BEAMS, DATASETS, N_BASE, N_QUERIES, NUM_CHUNKS, NUM_CODEWORDS, curve_rows, fmt, save_report
+
+METHODS = ("pq", "opq", "lnc", "catalyst", "rpq")
+
+
+def run():
+    out = {}
+    for name in DATASETS:
+        prepared = prepare(
+            name, "hnsw", n_base=N_BASE, n_queries=N_QUERIES, seed=0
+        )
+        out[name] = run_curves(
+            "memory", prepared, METHODS, NUM_CHUNKS, NUM_CODEWORDS,
+            beam_widths=BEAMS, seed=0,
+        )
+    return out
+
+
+def test_fig6_hnsw_memory_curves(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    summary_rows = []
+    for name, curves in out.items():
+        blocks.append(
+            format_table(
+                ["method", "beam", "recall@10", "QPS", "hops", "I/O ms"],
+                curve_rows(curves),
+                title=f"Fig. 6 [{name}] HNSW in-memory curves",
+            )
+        )
+        row = [name]
+        for method in METHODS:
+            row.append(fmt(max_recall(curves[method]), 3))
+        summary_rows.append(row)
+    blocks.append(
+        format_table(
+            ["dataset"] + [f"{m} max recall" for m in METHODS],
+            summary_rows,
+            title="Fig. 6 summary: recall ceilings (in-memory, HNSW)",
+        )
+    )
+    save_report("fig6_hnsw", "\n\n".join(blocks))
+
+    wins = 0
+    for name, curves in out.items():
+        if max_recall(curves["rpq"]) >= max_recall(curves["pq"]) - 0.02:
+            wins += 1
+    assert wins >= 3, "RPQ recall ceiling should match or beat PQ on most datasets"

@@ -1,0 +1,60 @@
+"""Fig. 7 — QPS and Hops vs Recall@10 in the in-memory scenario with
+NSG as the PG: PQ, OPQ, Catalyst, RPQ.
+
+Expected shape: same ordering as Fig. 6 — RPQ dominates — showing the
+learned quantizer transfers across PG families.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table, max_recall
+from repro.eval.harness import prepare, run_curves
+
+from common import BEAMS, DATASETS, N_BASE, N_QUERIES, NUM_CHUNKS, NUM_CODEWORDS, curve_rows, fmt, save_report
+
+METHODS = ("pq", "opq", "catalyst", "rpq")
+
+
+def run():
+    out = {}
+    for name in DATASETS:
+        prepared = prepare(
+            name, "nsg", n_base=N_BASE, n_queries=N_QUERIES, seed=0
+        )
+        out[name] = run_curves(
+            "memory", prepared, METHODS, NUM_CHUNKS, NUM_CODEWORDS,
+            beam_widths=BEAMS, seed=0,
+        )
+    return out
+
+
+def test_fig7_nsg_memory_curves(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    summary_rows = []
+    for name, curves in out.items():
+        blocks.append(
+            format_table(
+                ["method", "beam", "recall@10", "QPS", "hops", "I/O ms"],
+                curve_rows(curves),
+                title=f"Fig. 7 [{name}] NSG in-memory curves",
+            )
+        )
+        summary_rows.append(
+            [name] + [fmt(max_recall(curves[m]), 3) for m in METHODS]
+        )
+    blocks.append(
+        format_table(
+            ["dataset"] + [f"{m} max recall" for m in METHODS],
+            summary_rows,
+            title="Fig. 7 summary: recall ceilings (in-memory, NSG)",
+        )
+    )
+    save_report("fig7_nsg", "\n\n".join(blocks))
+
+    wins = 0
+    for name, curves in out.items():
+        if max_recall(curves["rpq"]) >= max_recall(curves["pq"]) - 0.02:
+            wins += 1
+    assert wins >= 3, "RPQ should match or beat PQ on most datasets (NSG)"

@@ -1,0 +1,60 @@
+"""Fig. 8 — effect of the k_pos / k_neg split on RPQ's performance.
+
+The contrastive sampler draws positives from the top-k_pos nearest
+n-hop neighbors and negatives from the next k_neg; the figure sweeps
+the ratio of the two at a fixed total budget.
+
+Paper shape: QPS peaks for ratios in [0.2, 0.5]; extreme splits
+(almost-no positives or almost-no negatives) underperform.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.harness import run_kpos_kneg
+
+from common import NUM_CHUNKS, NUM_CODEWORDS, fmt, save_report
+
+RATIOS = (0.02, 0.2, 0.5, 0.8, 0.98)
+SETTINGS = (("hybrid", "bigann"), ("memory", "deep"))
+
+
+def test_fig8_kpos_kneg(benchmark):
+    def run():
+        out = {}
+        for scenario, dataset in SETTINGS:
+            out[(scenario, dataset)] = run_kpos_kneg(
+                scenario,
+                dataset,
+                ratios=RATIOS,
+                n_base=1000,
+                num_chunks=NUM_CHUNKS,
+                num_codewords=NUM_CODEWORDS,
+                seed=0,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (scenario, dataset), curve in out.items():
+        rows.append(
+            [f"{scenario}/{dataset}"] + [fmt(curve[r], 1) for r in RATIOS]
+        )
+    text = format_table(
+        ["scenario/dataset"] + [f"r={r}" for r in RATIOS],
+        rows,
+        title="Fig. 8: QPS at matched recall vs k_pos/(k_pos+k_neg) ratio",
+    )
+    save_report("fig8_kpos_kneg", text)
+
+    # Shape check: some middle ratio should be at least as good as the
+    # extreme ratios on at least one setting.
+    healthy = 0
+    for curve in out.values():
+        mid = max(v for r, v in curve.items() if 0.1 < r < 0.9 and v == v)
+        lo = curve[RATIOS[0]]
+        hi = curve[RATIOS[-1]]
+        if (lo != lo or mid >= lo * 0.85) and (hi != hi or mid >= hi * 0.85):
+            healthy += 1
+    assert healthy >= 1

@@ -1,0 +1,60 @@
+"""Fig. 9 — effect of K (codewords) and M (chunks) in the hybrid
+scenario: a QPS grid at matched recall.
+
+Paper shape: QPS grows with both K and M (more codewords and more
+chunks -> more accurate ADC distances -> faster convergence).
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_grid
+from repro.eval.harness import run_km_grid
+
+from common import fmt, save_report
+
+KS = (8, 16, 32)
+MS = (4, 8, 16)
+DATASETS = ("bigann", "deep", "gist")
+
+
+def test_fig9_km_hybrid(benchmark):
+    def run():
+        return {
+            name: run_km_grid("hybrid", name, ks=KS, ms=MS, n_base=1000, seed=0)
+            for name in DATASETS
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name, grid in out.items():
+        values = [
+            [
+                fmt(grid[(k, m)]["qps"], 1) if (k, m) in grid else "-"
+                for m in MS
+            ]
+            for k in KS
+        ]
+        blocks.append(
+            format_grid(
+                [f"K={k}" for k in KS],
+                [f"M={m}" for m in MS],
+                values,
+                corner="QPS",
+                title=f"Fig. 9 [{name}] hybrid: QPS at matched recall",
+            )
+        )
+    save_report("fig9_km_hybrid", "\n\n".join(blocks))
+
+    # Shape check: largest (K, M) should beat smallest on most datasets.
+    wins = 0
+    for name, grid in out.items():
+        small = grid.get((KS[0], MS[0]), {}).get("qps")
+        big_cells = [
+            grid[key]["qps"] for key in ((KS[-1], MS[-1]), (KS[-1], MS[-2]))
+            if key in grid
+        ]
+        big = max((v for v in big_cells if v == v), default=None)
+        if small is None or small != small or (big is not None and big >= small * 0.8):
+            wins += 1
+    assert wins >= 2

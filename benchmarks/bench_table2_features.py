@@ -1,0 +1,36 @@
+"""Table 2 — Recall@10 when ranking candidates with vs without the
+angular term of Eq. 5.
+
+Paper row 1 ("ranking w/ neighbor & routing") ranks candidates with the
+magnitude-only distance estimate; row 2 ranks with the full squared
+distance.  Expected shape: the full ranking dominates on every dataset.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.harness import run_table2
+
+from common import fmt, save_report
+
+
+def test_table2_feature_ranking(benchmark):
+    datasets = ("sift", "deep", "ukbench", "gist")
+    out = benchmark.pedantic(
+        lambda: run_table2(datasets, n_base=1200, n_queries=30, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["ranking w/ two terms"] + [fmt(out[d][0], 3) for d in datasets],
+        ["ranking by full Eq. 5"] + [fmt(out[d][1], 3) for d in datasets],
+    ]
+    text = format_table(
+        ["Features"] + list(datasets),
+        rows,
+        title="Table 2: Recall@10 under different candidate rankings",
+    )
+    save_report("table2_features", text)
+    for d in datasets:
+        truncated, full = out[d]
+        assert full >= truncated, f"full Eq.5 ranking must win on {d}"

@@ -1,0 +1,43 @@
+"""Table 4 — training time of the two learned quantizers.
+
+Paper shape: RPQ's training time is the same order as Catalyst's
+(sometimes below, sometimes above), i.e. routing guidance does not
+change the training-cost class.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.harness import run_training_time
+
+from common import DATASETS, NUM_CHUNKS, NUM_CODEWORDS, fmt, save_report
+
+
+def test_table4_training_time(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_training_time(
+            DATASETS, n_base=1000, num_chunks=NUM_CHUNKS,
+            num_codewords=NUM_CODEWORDS, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["Catalyst"] + [fmt(out[d]["catalyst"], 2) for d in DATASETS],
+        ["RPQ"] + [fmt(out[d]["rpq"], 2) for d in DATASETS],
+    ]
+    text = format_table(
+        ["Method"] + list(DATASETS),
+        rows,
+        title="Table 4: training time (seconds; paper reports hours at 500K scale)",
+    )
+    save_report("table4_training_time", text)
+
+    # Wall-clock training-time ratios do not transfer across substrates
+    # (our Catalyst is a small numpy MLP; our RPQ pays Python expm and
+    # graph-sampling costs the paper's CUDA implementation amortizes) —
+    # the reproducible claim is that both are finite minutes-scale jobs,
+    # not hours (see EXPERIMENTS.md).
+    for d in DATASETS:
+        assert out[d]["rpq"] > 0 and out[d]["catalyst"] > 0
+        assert out[d]["rpq"] < 300 and out[d]["catalyst"] < 300

@@ -1,0 +1,36 @@
+"""Table 5 — serialized model size of Catalyst vs RPQ.
+
+Paper shape: RPQ's model (skew parameters + codebooks) is several times
+smaller than Catalyst's (an MLP + codebooks) on every dataset.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.harness import run_model_size
+
+from common import DATASETS, NUM_CHUNKS, NUM_CODEWORDS, fmt, save_report
+
+
+def test_table5_model_size(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_model_size(
+            DATASETS, n_base=800, num_chunks=NUM_CHUNKS,
+            num_codewords=NUM_CODEWORDS, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["Catalyst"] + [fmt(out[d]["catalyst"], 1) for d in DATASETS],
+        ["RPQ"] + [fmt(out[d]["rpq"], 1) for d in DATASETS],
+    ]
+    text = format_table(
+        ["Method"] + list(DATASETS),
+        rows,
+        title="Table 5: model size (KiB; paper reports MB at D=128-960)",
+    )
+    save_report("table5_model_size", text)
+
+    smaller = sum(1 for d in DATASETS if out[d]["rpq"] < out[d]["catalyst"])
+    assert smaller >= len(DATASETS) - 1, "RPQ models should be smaller"

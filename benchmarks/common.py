@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation.  Results are printed and archived under
+``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Scales are laptop-sized (see DESIGN.md §2): 1k–5k vectors instead of
+1M–1B, with QPS meaningful only *relatively* across methods.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Shared small-scale defaults.
+N_BASE = 1000
+N_QUERIES = 20
+NUM_CHUNKS = 8
+NUM_CODEWORDS = 32
+BEAMS = (10, 16, 24, 32, 48)
+DATASETS = ("bigann", "deep", "sift", "gist", "ukbench")
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a result block and archive it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Format a float, rendering NaN/None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def curve_rows(curves: Dict[str, list]) -> List[list]:
+    """Flatten method->points curves into printable rows."""
+    rows = []
+    for method, points in curves.items():
+        for p in points:
+            rows.append(
+                [
+                    method,
+                    p.beam_width,
+                    fmt(p.recall, 3),
+                    fmt(p.qps, 1),
+                    fmt(p.mean_hops, 1),
+                    fmt(p.mean_io_us / 1000.0, 2),
+                ]
+            )
+    return rows

@@ -1,0 +1,72 @@
+"""Quickstart: train RPQ on a SIFT-like dataset and search with it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full paper pipeline: generate data, build a proximity graph,
+train the routing-guided quantizer against that graph, freeze it, build
+an in-memory PQ+graph index, and compare recall against vanilla PQ.
+"""
+
+from __future__ import annotations
+
+from repro.core import RPQ, RPQTrainingConfig
+from repro.datasets import compute_ground_truth, load
+from repro.graphs import build_hnsw
+from repro.index import MemoryIndex
+from repro.metrics import recall_at_k
+from repro.quantization import ProductQuantizer
+
+
+def main() -> None:
+    print("== RPQ quickstart ==")
+    data = load("sift", n_base=1500, n_queries=30, seed=0)
+    print(f"dataset: {data.name}-like, {data.base.shape[0]} x {data.dim}")
+
+    graph = build_hnsw(data.base, m=8, ef_construction=48, seed=0)
+    print(
+        f"graph: HNSW, {graph.num_vertices} vertices, "
+        f"mean degree {graph.degree_stats()['mean']:.1f}, "
+        f"{graph.max_level + 1} levels"
+    )
+
+    gt = compute_ground_truth(data.base, data.queries, k=10)
+
+    config = RPQTrainingConfig(
+        epochs=4,
+        num_triplets=256,
+        num_queries=12,
+        records_per_query=6,
+        beam_width=8,
+        seed=0,
+    )
+    rpq = RPQ(num_chunks=8, num_codewords=32, config=config, seed=0)
+    rpq.fit(data.base, graph, training_sample=data.train)
+    report = rpq.report
+    assert report is not None
+    print(
+        f"trained RPQ in {report.wall_time_seconds:.1f}s; "
+        f"next-hop accuracy {report.decision_accuracy_before:.2f} -> "
+        f"{report.decision_accuracy_after:.2f}"
+    )
+
+    pq = ProductQuantizer(8, 32, seed=0).fit(data.train)
+
+    for name, quantizer in (("PQ", pq), ("RPQ", rpq.quantizer)):
+        index = MemoryIndex(graph, quantizer, data.base)
+        for beam in (16, 32, 64):
+            results = [
+                index.search(q, k=10, beam_width=beam) for q in data.queries
+            ]
+            recall = recall_at_k([r.ids for r in results], gt.ids)
+            hops = sum(r.hops for r in results) / len(results)
+            print(
+                f"{name:>4} | beam {beam:>3} | recall@10 {recall:.3f} | "
+                f"hops {hops:5.1f} | memory {index.memory_bytes() / 1024:.0f} KiB "
+                f"(x{index.compression_ratio():.1f} smaller)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Routing-Guided Learned Product Quantization
+for Graph-Based Approximate Nearest Neighbor Search" (RPQ).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the RPQ facade, differentiable quantizer,
+    feature extractor, and joint training (paper §3–§6).
+``repro.quantization``
+    Classical PQ substrate and baselines: PQ, OPQ, Catalyst, L&C, ADC.
+``repro.graphs``
+    Proximity graphs built from scratch: HNSW, NSG, Vamana; beam search.
+``repro.index``
+    PQ-integrated graph indexes: in-memory and DiskANN-style hybrid over
+    a simulated SSD (paper §7).
+``repro.datasets``
+    Synthetic stand-ins for SIFT/Deep/GIST/BigANN/Ukbench (Table 3).
+``repro.metrics`` / ``repro.eval``
+    Recall@k, QPS, counters; per-figure experiment drivers (§8).
+
+Quick start::
+
+    from repro.core import RPQ
+    from repro.datasets import load, compute_ground_truth
+    from repro.graphs import build_hnsw
+    from repro.index import MemoryIndex
+
+    data = load("sift", n_base=2000)
+    graph = build_hnsw(data.base)
+    rpq = RPQ(num_chunks=8, num_codewords=32).fit(data.base, graph)
+    index = MemoryIndex(graph, rpq.quantizer, data.base)
+    result = index.search(data.queries[0], k=10, beam_width=32)
+"""
+
+__version__ = "1.0.0"
+
+from . import autodiff, core, datasets, eval, graphs, index, metrics, quantization
+
+__all__ = [
+    "autodiff",
+    "core",
+    "datasets",
+    "eval",
+    "graphs",
+    "index",
+    "metrics",
+    "quantization",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Optimizers and learning-rate schedules for the autodiff engine.
+
+The paper trains with Adam and a one-cycle learning-rate schedule
+(§6: "LR = 1e-3, decay rate = 0.2"); both are provided here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding a parameter list."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        for p in self.params:
+            if not p.requires_grad:
+                raise ValueError("all optimized tensors must require grad")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                vel *= self.momentum
+                vel += p.grad
+                p.data -= self.lr * vel
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2014) — the paper's choice (§6)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class OneCycleLR:
+    """One-cycle learning-rate schedule (warm up, then anneal).
+
+    The learning rate rises linearly from ``max_lr / div_factor`` to
+    ``max_lr`` over ``pct_start`` of the total steps, then decays with a
+    cosine curve down to ``max_lr * final_decay``.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        max_lr: float,
+        total_steps: int,
+        pct_start: float = 0.3,
+        div_factor: float = 10.0,
+        final_decay: float = 0.2,
+    ) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if not 0.0 < pct_start < 1.0:
+            raise ValueError("pct_start must be in (0, 1)")
+        self.optimizer = optimizer
+        self.max_lr = float(max_lr)
+        self.total_steps = int(total_steps)
+        self.warmup_steps = max(1, int(round(pct_start * total_steps)))
+        self.start_lr = self.max_lr / div_factor
+        self.final_lr = self.max_lr * final_decay
+        self._step_count = 0
+        self.optimizer.lr = self.start_lr
+
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+    def step(self) -> float:
+        """Advance the schedule; returns the new learning rate."""
+        self._step_count += 1
+        t = min(self._step_count, self.total_steps)
+        if t <= self.warmup_steps:
+            frac = t / self.warmup_steps
+            lr = self.start_lr + frac * (self.max_lr - self.start_lr)
+        else:
+            span = max(1, self.total_steps - self.warmup_steps)
+            frac = (t - self.warmup_steps) / span
+            cosine = 0.5 * (1.0 + np.cos(np.pi * frac))
+            lr = self.final_lr + (self.max_lr - self.final_lr) * cosine
+        self.optimizer.lr = float(lr)
+        return self.optimizer.lr

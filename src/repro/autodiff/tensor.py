@@ -1,0 +1,435 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the training substrate for the differentiable quantizer
+(paper §4).  The original work trains with PyTorch; the model here is tiny
+(a ``D x D`` skew-symmetric matrix plus ``M * K * D/M`` codebook floats),
+so a compact tape-based engine over numpy is sufficient and keeps the
+reproduction dependency-free.
+
+The design follows the classic define-by-run pattern:
+
+* :class:`Tensor` wraps an ``ndarray`` and remembers the operation that
+  produced it (``_parents`` + ``_backward`` closure).
+* :meth:`Tensor.backward` topologically sorts the tape and accumulates
+  gradients into every tensor created with ``requires_grad=True``.
+
+All primitives support numpy broadcasting; gradients are un-broadcast
+(summed) back to the operand shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar) holding the value.  Stored as ``float64`` for
+        gradient stability; exported models are cast to ``float32``.
+    requires_grad:
+        If True, ``backward`` accumulates a gradient into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying value (a copy, detached from the tape)."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing the same value but no history."""
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{tag})"
+
+    # ------------------------------------------------------------------
+    # Tape machinery
+    # ------------------------------------------------------------------
+    def _track(self) -> bool:
+        """Whether this tensor participates in gradient computation."""
+        return self.requires_grad or self._parents != ()
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if any(p._track() for p in parents):
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to ones (i.e. ``self`` is treated as a scalar
+        loss when it has a single element).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in seen and parent._track():
+                        seen.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self)
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            # The backward closure pushes gradients into `grads` via the
+            # `_receive` hook installed below.
+            Tensor._GRAD_SINK = grads  # type: ignore[attr-defined]
+            node._backward(node_grad)
+
+    # Gradient sink used by backward closures to hand gradients to the
+    # traversal above without each closure knowing about the dict.
+    _GRAD_SINK: Optional[dict] = None
+
+    @staticmethod
+    def _send(parent: "Tensor", grad: np.ndarray) -> None:
+        if not parent._track():
+            return
+        sink = Tensor._GRAD_SINK
+        assert sink is not None, "_send called outside backward()"
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), parent.data.shape)
+        key = id(parent)
+        if key in sink:
+            sink[key] = sink[key] + grad
+        else:
+            sink[key] = grad
+
+    # ------------------------------------------------------------------
+    # Primitive operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g)
+            Tensor._send(other, g)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, -g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g)
+            Tensor._send(other, -g)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return Tensor._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * other.data)
+            Tensor._send(other, g * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g / other.data)
+            Tensor._send(other, -g * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return Tensor._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(g: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                Tensor._send(self, g * b)
+                Tensor._send(other, g * a)
+            elif a.ndim == 1:
+                Tensor._send(self, g @ b.T)
+                Tensor._send(other, np.outer(a, g))
+            elif b.ndim == 1:
+                Tensor._send(self, np.outer(g, b))
+                Tensor._send(other, a.T @ g)
+            else:
+                Tensor._send(self, g @ np.swapaxes(b, -1, -2))
+                Tensor._send(other, np.swapaxes(a, -1, -2) @ g)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape operations
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        if axes is None:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            Tensor._send(self, full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and elementwise functions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            Tensor._send(self, np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if np.isscalar(axis) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * 0.5 / value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * (1.0 - value ** 2))
+
+        return Tensor._make(value, (self,), backward)
+
+    def maximum(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._coerce(other)
+        choose_self = self.data >= other.data
+
+        def backward(g: np.ndarray) -> None:
+            Tensor._send(self, g * choose_self)
+            Tensor._send(other, g * ~choose_self)
+
+        return Tensor._make(
+            np.maximum(self.data, other.data), (self, other), backward
+        )
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        value = self.data.max(axis=axis, keepdims=True)
+        mask = self.data == value
+        # Split gradient evenly among ties, matching numpy semantics closely
+        # enough for optimization purposes.
+        counts = mask.sum(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            Tensor._send(self, mask * grad / counts)
+
+        out = value if keepdims else value.squeeze(axis) if axis is not None else value.reshape(())
+        return Tensor._make(np.asarray(out), (self,), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, differentiably."""
+    tensors = tuple(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        pieces = np.split(g, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            Tensor._send(tensor, np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis, differentiably."""
+    tensors = tuple(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            Tensor._send(tensor, g[tuple(index)])
+
+    return Tensor._make(data, tensors, backward)

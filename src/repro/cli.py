@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``profiles``
+    List the synthetic dataset profiles and their calibration targets.
+``demo``
+    Train RPQ on a profile, build an index, and print recall vs PQ.
+``experiment``
+    Run one of the paper-artifact drivers (table2, fig4) and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from .datasets import PROFILES, lid_mle, load
+    from .eval import format_table
+
+    rows = []
+    for name, profile in sorted(PROFILES.items()):
+        row = [
+            name,
+            profile.dim,
+            profile.paper_dim,
+            profile.paper_lid,
+        ]
+        if args.measure_lid:
+            data = load(name, n_base=args.n_base, seed=args.seed)
+            row.append(round(lid_mle(data.base, k=20, sample=400, seed=0), 1))
+        rows.append(row)
+    headers = ["profile", "dim", "paper dim", "paper LID"]
+    if args.measure_lid:
+        headers.append("measured LID")
+    print(format_table(headers, rows, title="Dataset profiles (Table 3 stand-ins)"))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import RPQ, RPQTrainingConfig
+    from .datasets import compute_ground_truth, load
+    from .eval import format_table
+    from .graphs import build_hnsw, build_nsg, build_vamana
+    from .index import DiskIndex, MemoryIndex
+    from .metrics import recall_at_k
+    from .quantization import ProductQuantizer
+
+    data = load(args.dataset, n_base=args.n_base, n_queries=args.n_queries,
+                seed=args.seed)
+    builders = {
+        "hnsw": lambda: build_hnsw(data.base, m=8, ef_construction=48, seed=args.seed),
+        "nsg": lambda: build_nsg(data.base, knn_k=16, r=16, search_l=40),
+        "vamana": lambda: build_vamana(data.base, r=16, search_l=40, seed=args.seed),
+    }
+    graph = builders[args.graph]()
+    gt = compute_ground_truth(data.base, data.queries, k=10)
+
+    config = RPQTrainingConfig(
+        epochs=args.epochs, num_triplets=256, num_queries=12,
+        records_per_query=6, beam_width=8, seed=args.seed,
+    )
+    rpq = RPQ(args.chunks, args.codewords, config=config, seed=args.seed)
+    rpq.fit(data.base, graph, training_sample=data.train)
+    pq = ProductQuantizer(args.chunks, args.codewords, seed=args.seed).fit(data.train)
+
+    rows = []
+    for name, quantizer in (("PQ", pq), ("RPQ", rpq.quantizer)):
+        if args.scenario == "memory":
+            index = MemoryIndex(graph, quantizer, data.base)
+        else:
+            index = DiskIndex(graph, quantizer, data.base)
+        results = [
+            index.search(q, k=10, beam_width=args.beam) for q in data.queries
+        ]
+        recall = recall_at_k([r.ids for r in results], gt.ids)
+        hops = float(np.mean([r.hops for r in results]))
+        rows.append([name, round(recall, 3), round(hops, 1)])
+    print(
+        format_table(
+            ["method", "recall@10", "hops"],
+            rows,
+            title=(
+                f"{args.dataset}-like, n={args.n_base}, {args.graph}, "
+                f"{args.scenario} scenario, beam {args.beam}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .eval import format_table
+    from .eval.harness import run_fig4, run_table2
+
+    if args.name == "table2":
+        out = run_table2(n_base=args.n_base, n_queries=args.n_queries,
+                         seed=args.seed)
+        datasets = list(out)
+        rows = [
+            ["two terms"] + [round(out[d][0], 3) for d in datasets],
+            ["full Eq. 5"] + [round(out[d][1], 3) for d in datasets],
+        ]
+        print(format_table(["ranking"] + datasets, rows, title="Table 2"))
+        return 0
+    if args.name == "fig4":
+        result = run_fig4(args.dataset, n_base=args.n_base, seed=args.seed)
+        print(
+            format_table(
+                ["", "imbalance score"],
+                [
+                    ["before rotation", round(result.balance_before, 3)],
+                    ["after rotation", round(result.balance_after, 3)],
+                ],
+                title=f"Fig. 4 case study ({args.dataset})",
+            )
+        )
+        return 0
+    print(f"unknown experiment {args.name!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RPQ reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_profiles = sub.add_parser("profiles", help="list dataset profiles")
+    p_profiles.add_argument("--measure-lid", action="store_true")
+    p_profiles.add_argument("--n-base", type=int, default=1000)
+    p_profiles.add_argument("--seed", type=int, default=0)
+    p_profiles.set_defaults(func=_cmd_profiles)
+
+    p_demo = sub.add_parser("demo", help="train RPQ and compare against PQ")
+    p_demo.add_argument("--dataset", default="sift")
+    p_demo.add_argument("--graph", choices=("hnsw", "nsg", "vamana"), default="hnsw")
+    p_demo.add_argument("--scenario", choices=("memory", "hybrid"), default="memory")
+    p_demo.add_argument("--n-base", type=int, default=1000)
+    p_demo.add_argument("--n-queries", type=int, default=20)
+    p_demo.add_argument("--chunks", type=int, default=8)
+    p_demo.add_argument("--codewords", type=int, default=32)
+    p_demo.add_argument("--beam", type=int, default=32)
+    p_demo.add_argument("--epochs", type=int, default=4)
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
+    p_exp.add_argument("name", choices=("table2", "fig4"))
+    p_exp.add_argument("--dataset", default="sift")
+    p_exp.add_argument("--n-base", type=int, default=800)
+    p_exp.add_argument("--n-queries", type=int, default=20)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

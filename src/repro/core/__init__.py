@@ -1,0 +1,42 @@
+"""The paper's contribution: routing-guided learned product quantization.
+
+* :class:`RPQ` — end-to-end facade (``fit(x, graph)`` → frozen quantizer).
+* :class:`DifferentiableQuantizer` / :class:`RPQQuantizer` — §4.
+* :class:`AdaptiveRotation` — learned orthonormal decomposition (§4).
+* :func:`sample_triplets` / :func:`sample_routing_records` — §5.
+* :func:`neighborhood_loss` / :func:`routing_loss` / :class:`JointLoss` — §6.
+* :func:`train_rpq`, :class:`RPQTrainingConfig` — the training loop.
+"""
+
+from .diffq import DifferentiableQuantizer, RPQQuantizer
+from .features import (
+    RoutingRecord,
+    Triplet,
+    decision_accuracy,
+    sample_routing_records,
+    sample_triplets,
+)
+from .losses import JointLoss, neighborhood_loss, routing_loss
+from .rotation import AdaptiveRotation, chunk_balance_score, dimension_value_profile
+from .rpq import RPQ
+from .trainer import RPQTrainingConfig, RPQTrainingReport, train_rpq
+
+__all__ = [
+    "RPQ",
+    "DifferentiableQuantizer",
+    "RPQQuantizer",
+    "AdaptiveRotation",
+    "dimension_value_profile",
+    "chunk_balance_score",
+    "Triplet",
+    "RoutingRecord",
+    "sample_triplets",
+    "sample_routing_records",
+    "decision_accuracy",
+    "neighborhood_loss",
+    "routing_loss",
+    "JointLoss",
+    "RPQTrainingConfig",
+    "RPQTrainingReport",
+    "train_rpq",
+]

@@ -1,0 +1,215 @@
+"""Sampling-based feature extractor (paper §5, Alg. 1 and Alg. 2).
+
+Two feature families feed the joint training:
+
+* **Neighborhood triplets** — per vertex ``v``, one positive from its
+  ``k_pos`` nearest n-hop neighbors and one negative from the next
+  ``k_neg`` (the "hard sample" band).  The contrastive loss pulls
+  positives together and pushes negatives apart in the quantized space.
+* **Routing records** — beam-search traces over the PG using the
+  *current* quantizer's ADC distances.  Each next-hop decision yields a
+  record: the ranked candidate set, the query, and the candidate that a
+  full-precision oracle would pick.  The routing loss teaches the
+  quantizer to rank that candidate first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.base import ProximityGraph
+from ..quantization.adc import LookupTable
+from ..quantization.codebook import Codebook
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """Neighborhood sample ⟨v+, v, v−⟩ (paper Definitions 4 and 5)."""
+
+    anchor: int
+    positive: int
+    negative: int
+
+
+@dataclass
+class RoutingRecord:
+    """One next-hop decision (paper Def. 6, enriched with supervision).
+
+    Attributes
+    ----------
+    query:
+        The query vector.
+    candidates:
+        Ranked candidate vertex ids (ascending estimated distance) that
+        were available for this decision, *excluding* already-visited
+        vertices (a visited candidate can never be chosen).
+    chosen:
+        Index into ``candidates`` of the vertex the quantized search
+        expanded (always 0 by construction).
+    oracle:
+        Index into ``candidates`` of the candidate with the smallest
+        *true* distance to the query — the correct decision the loss
+        pushes toward.
+    """
+
+    query: np.ndarray
+    candidates: np.ndarray
+    chosen: int
+    oracle: int
+
+
+def sample_triplets(
+    graph: ProximityGraph,
+    x: np.ndarray,
+    num_triplets: int,
+    n_hops: int = 2,
+    k_pos: int = 10,
+    k_neg: int = 20,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Triplet]:
+    """n-propagation sampling (paper Alg. 1), batched over random vertices.
+
+    For each sampled vertex ``v``: collect its ``n``-hop neighborhood,
+    rank it by true distance to ``v``, draw the positive uniformly from
+    the ``k_pos`` nearest and the negative uniformly from the following
+    ``k_neg`` (the secondary / hard-negative band).
+    """
+    if num_triplets < 1:
+        raise ValueError("num_triplets must be >= 1")
+    if k_pos < 1 or k_neg < 1:
+        raise ValueError("k_pos and k_neg must be >= 1")
+    rng = rng or np.random.default_rng()
+    x = np.asarray(x, dtype=np.float64)
+    n = graph.num_vertices
+
+    triplets: List[Triplet] = []
+    attempts = 0
+    max_attempts = num_triplets * 20
+    while len(triplets) < num_triplets and attempts < max_attempts:
+        attempts += 1
+        v = int(rng.integers(n))
+        population = graph.n_hop_neighborhood(v, n_hops)
+        if population.size < 2:
+            continue
+        diff = x[population] - x[v]
+        dists = np.einsum("ij,ij->i", diff, diff)
+        order = population[np.argsort(dists, kind="stable")]
+        eff_pos = min(k_pos, max(1, order.size - 1))
+        pos_pool = order[:eff_pos]
+        neg_pool = order[eff_pos : eff_pos + k_neg]
+        if neg_pool.size == 0:
+            continue
+        triplets.append(
+            Triplet(
+                anchor=v,
+                positive=int(rng.choice(pos_pool)),
+                negative=int(rng.choice(neg_pool)),
+            )
+        )
+    if len(triplets) < num_triplets:
+        raise RuntimeError(
+            "could not sample enough triplets; the graph may be too sparse "
+            f"(got {len(triplets)} of {num_triplets})"
+        )
+    return triplets
+
+
+def _adc_distance_fn(codes: np.ndarray, table: LookupTable):
+    def fn(vertex_ids: np.ndarray) -> np.ndarray:
+        return table.distance(codes[vertex_ids])
+
+    return fn
+
+
+def sample_routing_records(
+    graph: ProximityGraph,
+    x: np.ndarray,
+    rotation: np.ndarray,
+    codebook: Codebook,
+    codes: np.ndarray,
+    queries: Sequence[np.ndarray],
+    beam_width: int = 10,
+    max_records_per_query: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[RoutingRecord]:
+    """Routing-feature sampling (paper Alg. 2).
+
+    Runs a quantized beam search per query (routing by ADC under the
+    *current* quantizer) and converts every next-hop decision into a
+    supervised :class:`RoutingRecord`.
+
+    Parameters
+    ----------
+    graph:
+        The PG to route over.
+    x:
+        Full-precision vectors (the oracle's distance source).
+    rotation, codebook, codes:
+        The current quantizer state: rotation matrix, codebook, and hard
+        codes of all vertices.
+    queries:
+        Query vectors (the paper samples them from the dataset itself).
+    beam_width:
+        ``h`` — candidates kept per decision.
+    max_records_per_query:
+        Optional subsample of decisions per query (keeps epochs cheap).
+    rng:
+        Used only for the optional record subsampling.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    records: List[RoutingRecord] = []
+    rng = rng or np.random.default_rng()
+
+    for query in queries:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        table = LookupTable.build(codebook, query @ rotation.T)
+        result = graph.search(
+            _adc_distance_fn(codes, table),
+            beam_width,
+            record_trace=True,
+        )
+        assert result.trace is not None
+        visited: set[int] = set()
+        query_records: List[RoutingRecord] = []
+        for step in result.trace:
+            live_mask = np.array(
+                [c not in visited for c in step.candidates], dtype=bool
+            )
+            live = step.candidates[live_mask]
+            visited.add(int(step.chosen))
+            if live.size < 2:
+                continue  # no decision to learn from
+            diff = x[live] - query
+            true_d = np.einsum("ij,ij->i", diff, diff)
+            oracle = int(true_d.argmin())
+            chosen = int(np.flatnonzero(live == step.chosen)[0])
+            query_records.append(
+                RoutingRecord(
+                    query=query,
+                    candidates=live,
+                    chosen=chosen,
+                    oracle=oracle,
+                )
+            )
+        if (
+            max_records_per_query is not None
+            and len(query_records) > max_records_per_query
+        ):
+            picks = rng.choice(
+                len(query_records), size=max_records_per_query, replace=False
+            )
+            query_records = [query_records[i] for i in sorted(picks)]
+        records.extend(query_records)
+    return records
+
+
+def decision_accuracy(records: Sequence[RoutingRecord]) -> float:
+    """Fraction of decisions where the quantized search already picks
+    the oracle candidate.  A diagnostic for training progress."""
+    if not records:
+        return 1.0
+    correct = sum(1 for r in records if r.chosen == r.oracle)
+    return correct / len(records)

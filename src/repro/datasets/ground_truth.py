@@ -1,0 +1,35 @@
+"""Exact ground truth for recall evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.knn_graph import exact_knn
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact top-k neighbors for a query set."""
+
+    ids: np.ndarray  # (num_queries, k)
+    distances: np.ndarray  # (num_queries, k)
+
+    @property
+    def k(self) -> int:
+        return self.ids.shape[1]
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+
+def compute_ground_truth(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int = 10,
+) -> GroundTruth:
+    """Blocked brute-force exact top-``k`` for every query."""
+    ids, dists = exact_knn(base, k, queries=queries)
+    return GroundTruth(ids=ids, distances=dists)

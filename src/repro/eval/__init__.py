@@ -1,0 +1,20 @@
+"""Experiment harness: sweeps, matched-recall interpolation, drivers.
+
+* :func:`sweep_beam`, :class:`OperatingPoint`, :func:`metric_at_recall`,
+  :func:`max_recall` — curve machinery shared by all figures.
+* :mod:`repro.eval.harness` — one ``run_*`` driver per paper artifact.
+* :func:`format_table`, :func:`format_grid` — output formatting.
+"""
+
+from .sweep import DEFAULT_BEAMS, OperatingPoint, max_recall, metric_at_recall, sweep_beam
+from .tables import format_grid, format_table
+
+__all__ = [
+    "sweep_beam",
+    "OperatingPoint",
+    "metric_at_recall",
+    "max_recall",
+    "DEFAULT_BEAMS",
+    "format_table",
+    "format_grid",
+]

@@ -1,0 +1,42 @@
+"""Proximity-graph substrate: HNSW, NSG, Vamana, and beam-search routing.
+
+* :func:`build_hnsw` / :class:`HNSW` — hierarchical NSW [48].
+* :func:`build_nsg` — navigating spreading-out graph [26].
+* :func:`build_vamana` — DiskANN's graph [36]; :func:`robust_prune`.
+* :func:`beam_search` — the routing loop (paper Alg. 2);
+  :class:`SearchResult`, :class:`BeamStep`.
+* :class:`ProximityGraph` — shared container (paper Def. 2).
+* :func:`exact_knn` — blocked brute-force kNN.
+"""
+
+from .base import ProximityGraph, medoid
+from .beam import (
+    BeamStep,
+    DistanceFn,
+    SearchResult,
+    beam_search,
+    exact_distance_fn,
+    greedy_search,
+)
+from .hnsw import HNSW, build_hnsw
+from .knn_graph import exact_knn, knn_graph_adjacency
+from .nsg import build_nsg
+from .vamana import build_vamana, robust_prune
+
+__all__ = [
+    "ProximityGraph",
+    "medoid",
+    "beam_search",
+    "greedy_search",
+    "exact_distance_fn",
+    "BeamStep",
+    "SearchResult",
+    "DistanceFn",
+    "HNSW",
+    "build_hnsw",
+    "build_nsg",
+    "build_vamana",
+    "robust_prune",
+    "exact_knn",
+    "knn_graph_adjacency",
+]

@@ -1,0 +1,148 @@
+"""Proximity-graph container (paper Def. 2).
+
+A :class:`ProximityGraph` is a flat adjacency structure over vertex ids
+``0..n-1`` (a bijection with the dataset rows) plus an entry point.  The
+HNSW builder subclasses it to add its upper routing layers; NSG and
+Vamana produce plain instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .beam import DistanceFn, SearchResult, beam_search
+
+
+@dataclass
+class ProximityGraph:
+    """Flat proximity graph: adjacency lists plus an entry vertex."""
+
+    adjacency: List[np.ndarray]
+    entry_point: int = 0
+    name: str = "pg"
+    build_stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.adjacency = [
+            np.asarray(nbrs, dtype=np.int64) for nbrs in self.adjacency
+        ]
+        n = len(self.adjacency)
+        if not 0 <= self.entry_point < max(n, 1):
+            raise ValueError(
+                f"entry_point {self.entry_point} out of range for {n} vertices"
+            )
+        for v, nbrs in enumerate(self.adjacency):
+            if nbrs.size and (nbrs.min() < 0 or nbrs.max() >= n):
+                raise ValueError(f"vertex {v} has out-of-range neighbors")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(sum(nbrs.size for nbrs in self.adjacency))
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.adjacency[vertex]
+
+    def degree_stats(self) -> dict:
+        degrees = np.array([nbrs.size for nbrs in self.adjacency])
+        return {
+            "min": int(degrees.min()) if degrees.size else 0,
+            "max": int(degrees.max()) if degrees.size else 0,
+            "mean": float(degrees.mean()) if degrees.size else 0.0,
+        }
+
+    def is_connected_from_entry(self) -> bool:
+        """Whether every vertex is reachable from the entry point."""
+        n = self.num_vertices
+        if n == 0:
+            return True
+        reached = np.zeros(n, dtype=bool)
+        stack = [self.entry_point]
+        reached[self.entry_point] = True
+        while stack:
+            v = stack.pop()
+            for u in self.adjacency[v]:
+                if not reached[u]:
+                    reached[u] = True
+                    stack.append(int(u))
+        return bool(reached.all())
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` (for analysis/plotting).
+
+        Vertex ids become node labels; no attributes are attached, so
+        the export is cheap even for large graphs.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_vertices))
+        for v, nbrs in enumerate(self.adjacency):
+            graph.add_edges_from((v, int(u)) for u in nbrs)
+        return graph
+
+    def memory_bytes(self, id_bytes: int = 4) -> int:
+        """Approximate serialized size of the adjacency structure."""
+        return self.num_edges * id_bytes + self.num_vertices * id_bytes
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        dist_fn: DistanceFn,
+        beam_width: int,
+        k: Optional[int] = None,
+        record_trace: bool = False,
+        entry: Optional[int] = None,
+    ) -> SearchResult:
+        """Beam-search routing with an arbitrary distance estimator."""
+        start = self.entry_point if entry is None else entry
+        return beam_search(
+            self.adjacency,
+            start,
+            dist_fn,
+            beam_width,
+            k=k,
+            record_trace=record_trace,
+        )
+
+    def n_hop_neighborhood(self, vertex: int, hops: int) -> np.ndarray:
+        """All vertices within ``hops`` hops of ``vertex`` (excluding it).
+
+        This is the population ``N_n(v)`` of the paper's Alg. 1
+        (n-propagation sampling).
+        """
+        frontier = {int(vertex)}
+        visited = {int(vertex)}
+        collected: set[int] = set()
+        for _ in range(hops):
+            nxt: set[int] = set()
+            for v in frontier:
+                for u in self.adjacency[v]:
+                    u = int(u)
+                    if u not in visited:
+                        visited.add(u)
+                        nxt.add(u)
+                        collected.add(u)
+            if not nxt:
+                break
+            frontier = nxt
+        return np.array(sorted(collected), dtype=np.int64)
+
+
+def medoid(x: np.ndarray) -> int:
+    """Index of the vector closest to the dataset centroid.
+
+    Standard entry-point choice for NSG and Vamana.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    center = x.mean(axis=0)
+    diff = x - center
+    return int(np.einsum("ij,ij->i", diff, diff).argmin())

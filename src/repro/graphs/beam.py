@@ -1,0 +1,203 @@
+"""Beam search over a proximity graph (paper Alg. 2's routing loop).
+
+This is the single routing primitive shared by every index in the repo:
+graph construction (searching the partially built graph), full-precision
+search, PQ-integrated ADC search, and routing-feature extraction all call
+:func:`beam_search` with a different distance callback.
+
+The loop is the paper-faithful variant: maintain a global candidate set
+``b`` of at most ``beam_width`` vertices ranked by estimated distance;
+repeatedly expand the closest unvisited vertex ``v*``, merge its unseen
+neighbors, re-rank, and truncate — until every vertex in ``b`` has been
+visited.  Each expansion is one "hop" (the paper's supplementary
+efficiency metric) and, when tracing is enabled, one routing-feature
+record ``b_i`` (Def. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+DistanceFn = Callable[[np.ndarray], np.ndarray]
+"""Maps an array of vertex ids to estimated distances to the query."""
+
+
+@dataclass
+class BeamStep:
+    """One next-hop decision: the ranked candidates and the vertex chosen.
+
+    ``candidates`` is the global candidate set *at decision time*, in
+    ascending order of estimated distance; ``chosen`` is the vertex the
+    search expanded (always the closest unvisited candidate).
+    """
+
+    chosen: int
+    candidates: np.ndarray
+    candidate_distances: np.ndarray
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one beam search."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_computations: int
+    visited_count: int
+    trace: Optional[List[BeamStep]] = field(default=None, repr=False)
+
+    def top_k(self, k: int) -> "SearchResult":
+        """Restrict the result list to its first ``k`` entries."""
+        return SearchResult(
+            ids=self.ids[:k],
+            distances=self.distances[:k],
+            hops=self.hops,
+            distance_computations=self.distance_computations,
+            visited_count=self.visited_count,
+            trace=self.trace,
+        )
+
+
+def beam_search(
+    adjacency: Sequence[np.ndarray],
+    entry: int,
+    dist_fn: DistanceFn,
+    beam_width: int,
+    k: Optional[int] = None,
+    record_trace: bool = False,
+) -> SearchResult:
+    """Route over ``adjacency`` from ``entry`` toward the query.
+
+    Parameters
+    ----------
+    adjacency:
+        Per-vertex neighbor id arrays.
+    entry:
+        Entry vertex (paper: ``v_e``).
+    dist_fn:
+        Batched estimated-distance callback.  For full-precision search
+        this computes true distances; for PQ-integrated search it sums
+        ADC lookup-table entries.
+    beam_width:
+        ``h`` — the size the global candidate set is truncated to after
+        each expansion.  Larger beams trade speed for recall.
+    k:
+        If given, the returned lists are truncated to the best ``k``.
+    record_trace:
+        Record a :class:`BeamStep` per next-hop decision (the routing
+        features of Def. 6).
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    n = len(adjacency)
+    if not 0 <= entry < n:
+        raise ValueError(f"entry vertex {entry} out of range [0, {n})")
+
+    visited = np.zeros(n, dtype=bool)  # expanded vertices
+    seen = np.zeros(n, dtype=bool)  # vertices whose distance is known
+
+    entry_dist = float(np.asarray(dist_fn(np.array([entry], dtype=np.int64)))[0])
+    ids: List[int] = [entry]
+    dists: List[float] = [entry_dist]
+    seen[entry] = True
+
+    hops = 0
+    dist_comps = 1
+    trace: Optional[List[BeamStep]] = [] if record_trace else None
+
+    while True:
+        chosen_pos = -1
+        for pos, vertex in enumerate(ids):
+            if not visited[vertex]:
+                chosen_pos = pos
+                break
+        if chosen_pos < 0:
+            break
+
+        v_star = ids[chosen_pos]
+        if record_trace:
+            assert trace is not None
+            trace.append(
+                BeamStep(
+                    chosen=v_star,
+                    candidates=np.array(ids, dtype=np.int64),
+                    candidate_distances=np.array(dists, dtype=np.float64),
+                )
+            )
+        visited[v_star] = True
+        hops += 1
+
+        neighbors = np.asarray(adjacency[v_star], dtype=np.int64)
+        if neighbors.size:
+            fresh = neighbors[~seen[neighbors]]
+        else:
+            fresh = neighbors
+        if fresh.size:
+            seen[fresh] = True
+            fresh_d = np.asarray(dist_fn(fresh), dtype=np.float64)
+            dist_comps += fresh.size
+            ids.extend(int(v) for v in fresh)
+            dists.extend(float(d) for d in fresh_d)
+            if len(ids) > beam_width:
+                order = np.argsort(dists, kind="stable")[:beam_width]
+                ids = [ids[i] for i in order]
+                dists = [dists[i] for i in order]
+            else:
+                order = np.argsort(dists, kind="stable")
+                ids = [ids[i] for i in order]
+                dists = [dists[i] for i in order]
+
+    result = SearchResult(
+        ids=np.array(ids, dtype=np.int64),
+        distances=np.array(dists, dtype=np.float64),
+        hops=hops,
+        distance_computations=dist_comps,
+        visited_count=int(visited.sum()),
+        trace=trace,
+    )
+    if k is not None:
+        result = result.top_k(k)
+    return result
+
+
+def greedy_search(
+    adjacency: Sequence[np.ndarray],
+    entry: int,
+    dist_fn: DistanceFn,
+) -> int:
+    """Pure greedy descent (beam width 1); returns the local minimum.
+
+    Used by HNSW's upper layers to locate the entry point for the base
+    layer.
+    """
+    current = entry
+    current_d = float(np.asarray(dist_fn(np.array([current], dtype=np.int64)))[0])
+    improved = True
+    while improved:
+        improved = False
+        neighbors = np.asarray(adjacency[current], dtype=np.int64)
+        if not neighbors.size:
+            break
+        nd = np.asarray(dist_fn(neighbors), dtype=np.float64)
+        best = int(nd.argmin())
+        if nd[best] < current_d:
+            current = int(neighbors[best])
+            current_d = float(nd[best])
+            improved = True
+    return current
+
+
+def exact_distance_fn(x: np.ndarray, query: np.ndarray) -> DistanceFn:
+    """Squared-Euclidean distance callback against full-precision rows."""
+    query = np.asarray(query, dtype=np.float64).reshape(-1)
+
+    def fn(vertex_ids: np.ndarray) -> np.ndarray:
+        rows = x[vertex_ids]
+        diff = rows - query
+        return np.einsum("ij,ij->i", diff, diff)
+
+    return fn

@@ -1,0 +1,247 @@
+"""HNSW (Malkov & Yashunin [48]) built from scratch.
+
+Hierarchical navigable small world graph: every point gets a random
+level; upper layers provide long-range "highways" and the base layer a
+dense neighborhood graph.  Search descends greedily through the upper
+layers, then beam-searches the base layer.
+
+This reproduction implements the standard construction: per-layer beam
+search with ``ef_construction``, the Alg.-4 neighbor-selection heuristic
+(the RNG-style prune), bidirectional linking, and degree capping
+(``M`` per upper layer, ``2M`` at the base layer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .base import ProximityGraph
+from .beam import DistanceFn, SearchResult, beam_search, greedy_search
+
+
+def _sqdist(a: np.ndarray, b: np.ndarray) -> float:
+    diff = a - b
+    return float(diff @ diff)
+
+
+def _select_neighbors_heuristic(
+    x: np.ndarray,
+    candidates: List[int],
+    distances: List[float],
+    m: int,
+) -> List[int]:
+    """HNSW Alg. 4: keep a candidate only if it is closer to the query
+    point than to every already-selected neighbor (diversity prune)."""
+    order = np.argsort(distances, kind="stable")
+    selected: List[int] = []
+    for pos in order:
+        c = candidates[pos]
+        d_cq = distances[pos]
+        keep = True
+        for s in selected:
+            if _sqdist(x[c], x[s]) < d_cq:
+                keep = False
+                break
+        if keep:
+            selected.append(c)
+            if len(selected) >= m:
+                break
+    return selected
+
+
+@dataclass
+class HNSW(ProximityGraph):
+    """HNSW index.  ``adjacency`` holds the base layer; ``upper_layers``
+    the sparse routing layers (vertex -> neighbor array)."""
+
+    upper_layers: List[Dict[int, np.ndarray]] = field(default_factory=list)
+    max_level: int = 0
+
+    def search(
+        self,
+        dist_fn: DistanceFn,
+        beam_width: int,
+        k: Optional[int] = None,
+        record_trace: bool = False,
+        entry: Optional[int] = None,
+    ) -> SearchResult:
+        """Greedy descent through upper layers, then base-layer beam."""
+        start = self.entry_point if entry is None else entry
+        for layer in reversed(self.upper_layers):
+            adjacency = _LayerView(layer, self.num_vertices)
+            start = greedy_search(adjacency, start, dist_fn)
+        return beam_search(
+            self.adjacency,
+            start,
+            dist_fn,
+            beam_width,
+            k=k,
+            record_trace=record_trace,
+        )
+
+
+class _LayerView:
+    """Adapter exposing a sparse upper layer as an indexable adjacency."""
+
+    _EMPTY = np.empty(0, dtype=np.int64)
+
+    def __init__(self, layer: Dict[int, np.ndarray], n: int) -> None:
+        self._layer = layer
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, vertex: int) -> np.ndarray:
+        return self._layer.get(vertex, self._EMPTY)
+
+
+def build_hnsw(
+    x: np.ndarray,
+    m: int = 16,
+    ef_construction: int = 100,
+    seed: Optional[int] = 0,
+) -> HNSW:
+    """Construct an HNSW graph over the rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` dataset.
+    m:
+        Target out-degree on upper layers; the base layer allows ``2m``.
+    ef_construction:
+        Beam width used while inserting points.
+    seed:
+        Level-sampling seed.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot build HNSW over an empty dataset")
+    rng = np.random.default_rng(seed)
+    level_mult = 1.0 / math.log(max(m, 2))
+    m_base = 2 * m
+
+    base: List[List[int]] = [[] for _ in range(n)]
+    upper: List[Dict[int, List[int]]] = []
+    levels = np.floor(
+        -np.log(rng.uniform(low=1e-12, high=1.0, size=n)) * level_mult
+    ).astype(np.int64)
+    entry_point = 0
+    max_level = int(levels[0])
+
+    def layer_adj(level: int):
+        if level == 0:
+            return base
+        return _BuildLayerView(upper[level - 1], n)
+
+    def search_layer(query: np.ndarray, start: int, level: int, ef: int):
+        dist_fn = _point_distance_fn(x, query)
+        result = beam_search(layer_adj(level), start, dist_fn, ef)
+        return list(result.ids), list(result.distances)
+
+    for i in range(n):
+        level = int(levels[i])
+        while len(upper) < level:
+            upper.append({})
+        if i == 0:
+            max_level = level
+            entry_point = 0
+            continue
+
+        query = x[i]
+        start = entry_point
+        dist_fn = _point_distance_fn(x, query)
+        # Descend layers above the new point's level greedily.
+        for lvl in range(max_level, level, -1):
+            if lvl > len(upper):
+                continue
+            start = greedy_search(layer_adj(lvl), start, dist_fn)
+
+        # Insert at each layer from min(level, max_level) down to 0.
+        for lvl in range(min(level, max_level), -1, -1):
+            cand_ids, cand_d = search_layer(query, start, lvl, ef_construction)
+            cap = m_base if lvl == 0 else m
+            chosen = _select_neighbors_heuristic(x, cand_ids, cand_d, m)
+            _set_neighbors(layer_adj(lvl), i, chosen)
+            for c in chosen:
+                _append_neighbor(layer_adj(lvl), c, i)
+                current = _get_neighbors(layer_adj(lvl), c)
+                if len(current) > cap:
+                    d = [
+                        _sqdist(x[c], x[v]) for v in current
+                    ]
+                    pruned = _select_neighbors_heuristic(x, current, d, cap)
+                    _set_neighbors(layer_adj(lvl), c, pruned)
+            start = cand_ids[0] if cand_ids else start
+
+        if level > max_level:
+            max_level = level
+            entry_point = i
+
+    graph = HNSW(
+        adjacency=[np.array(nbrs, dtype=np.int64) for nbrs in base],
+        entry_point=entry_point,
+        name="hnsw",
+        upper_layers=[
+            {v: np.array(nbrs, dtype=np.int64) for v, nbrs in layer.items()}
+            for layer in upper[:max_level]
+        ],
+        max_level=max_level,
+        build_stats={"m": m, "ef_construction": ef_construction},
+    )
+    return graph
+
+
+class _BuildLayerView:
+    """Mutable adapter for a sparse layer during construction."""
+
+    def __init__(self, layer: Dict[int, List[int]], n: int) -> None:
+        self._layer = layer
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, vertex: int) -> List[int]:
+        return self._layer.get(vertex, [])
+
+    def set(self, vertex: int, neighbors: List[int]) -> None:
+        self._layer[vertex] = list(neighbors)
+
+    def append(self, vertex: int, neighbor: int) -> None:
+        self._layer.setdefault(vertex, []).append(neighbor)
+
+
+def _set_neighbors(adj, vertex: int, neighbors: List[int]) -> None:
+    if isinstance(adj, _BuildLayerView):
+        adj.set(vertex, neighbors)
+    else:
+        adj[vertex] = list(neighbors)
+
+
+def _append_neighbor(adj, vertex: int, neighbor: int) -> None:
+    if isinstance(adj, _BuildLayerView):
+        adj.append(vertex, neighbor)
+    else:
+        adj[vertex].append(neighbor)
+
+
+def _get_neighbors(adj, vertex: int) -> List[int]:
+    if isinstance(adj, _BuildLayerView):
+        return list(adj[vertex])
+    return list(adj[vertex])
+
+
+def _point_distance_fn(x: np.ndarray, query: np.ndarray) -> DistanceFn:
+    def fn(vertex_ids: np.ndarray) -> np.ndarray:
+        rows = x[vertex_ids]
+        diff = rows - query
+        return np.einsum("ij,ij->i", diff, diff)
+
+    return fn

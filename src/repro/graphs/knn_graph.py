@@ -1,0 +1,79 @@
+"""Exact k-nearest-neighbor computation (blocked brute force).
+
+Used for: NSG's initial kNN graph, ground-truth generation, and
+neighborhood supervision in the learned baselines.  Blocked so the
+``n x n`` distance matrix never materializes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def exact_knn(
+    x: np.ndarray,
+    k: int,
+    queries: Optional[np.ndarray] = None,
+    block_size: int = 1024,
+    exclude_self: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` squared-Euclidean neighbors.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` database.
+    k:
+        Neighbors per query.
+    queries:
+        ``(m, d)`` query rows.  ``None`` means self-query (``queries = x``)
+        — the kNN-graph case.
+    block_size:
+        Queries per distance block.
+    exclude_self:
+        Only meaningful for self-queries: drop the zero-distance identity
+        match.
+
+    Returns
+    -------
+    (indices, distances):
+        Both ``(m, k)``, ascending by distance.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    self_query = queries is None
+    q = x if self_query else np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n = x.shape[0]
+    limit = n - 1 if (self_query and exclude_self) else n
+    if k < 1 or k > limit:
+        raise ValueError(f"k must be in [1, {limit}], got {k}")
+
+    x_sq = np.einsum("ij,ij->i", x, x)
+    m = q.shape[0]
+    indices = np.empty((m, k), dtype=np.int64)
+    distances = np.empty((m, k), dtype=np.float64)
+
+    for start in range(0, m, block_size):
+        stop = min(start + block_size, m)
+        qb = q[start:stop]
+        d = (
+            np.einsum("ij,ij->i", qb, qb)[:, None]
+            + x_sq[None, :]
+            - 2.0 * (qb @ x.T)
+        )
+        np.maximum(d, 0.0, out=d)
+        if self_query and exclude_self:
+            d[np.arange(stop - start), np.arange(start, stop)] = np.inf
+        top = np.argpartition(d, k - 1, axis=1)[:, :k]
+        top_d = np.take_along_axis(d, top, axis=1)
+        order = np.argsort(top_d, axis=1, kind="stable")
+        indices[start:stop] = np.take_along_axis(top, order, axis=1)
+        distances[start:stop] = np.take_along_axis(top_d, order, axis=1)
+    return indices, distances
+
+
+def knn_graph_adjacency(x: np.ndarray, k: int, block_size: int = 1024):
+    """Adjacency lists of the exact kNN digraph (edges to k nearest)."""
+    indices, _ = exact_knn(x, k, block_size=block_size)
+    return [indices[i] for i in range(indices.shape[0])]

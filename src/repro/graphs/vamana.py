@@ -1,0 +1,126 @@
+"""Vamana graph (Jayaram Subramanya et al., DiskANN [36]).
+
+The graph DiskANN stores on SSD.  Construction:
+
+1. start from a random ``R``-regular digraph;
+2. two passes over the points in random order — greedy-search the
+   current graph for each point, then *robust prune* (α-RNG rule) its
+   candidate set; first pass uses α = 1, second the target α > 1 which
+   keeps longer "highway" edges;
+3. insert reverse edges, pruning any vertex whose degree exceeds ``R``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import ProximityGraph, medoid
+from .beam import beam_search
+from .hnsw import _point_distance_fn
+
+
+def robust_prune(
+    x: np.ndarray,
+    point: int,
+    candidates: List[int],
+    alpha: float,
+    r: int,
+) -> List[int]:
+    """DiskANN's RobustPrune: greedily keep the closest candidate and
+    drop everything α-dominated by it.
+
+    A candidate ``c`` is dropped when some selected ``s`` satisfies
+    ``alpha * d(s, c) <= d(point, c)`` — i.e. routing through ``s``
+    makes ``c`` redundant.
+    """
+    pool = [c for c in dict.fromkeys(candidates) if c != point]
+    if not pool:
+        return []
+    pool_arr = np.array(pool, dtype=np.int64)
+    diff = x[pool_arr] - x[point]
+    dist_to_p = np.einsum("ij,ij->i", diff, diff)
+    order = np.argsort(dist_to_p, kind="stable")
+    pool_arr = pool_arr[order]
+    dist_to_p = dist_to_p[order]
+
+    selected: List[int] = []
+    alive = np.ones(pool_arr.size, dtype=bool)
+    for idx in range(pool_arr.size):
+        if not alive[idx]:
+            continue
+        s = int(pool_arr[idx])
+        selected.append(s)
+        if len(selected) >= r:
+            break
+        remaining = np.flatnonzero(alive[idx + 1 :]) + idx + 1
+        if remaining.size:
+            diff_s = x[pool_arr[remaining]] - x[s]
+            d_sc = np.einsum("ij,ij->i", diff_s, diff_s)
+            dominated = alpha * d_sc <= dist_to_p[remaining]
+            alive[remaining[dominated]] = False
+    return selected
+
+
+def build_vamana(
+    x: np.ndarray,
+    r: int = 32,
+    search_l: int = 64,
+    alpha: float = 1.2,
+    seed: Optional[int] = 0,
+) -> ProximityGraph:
+    """Construct a Vamana graph over the rows of ``x``.
+
+    Parameters
+    ----------
+    x:
+        ``(n, d)`` dataset.
+    r:
+        Maximum out-degree.
+    search_l:
+        Beam width of the construction-time greedy searches.
+    alpha:
+        α of the second robust-prune pass (>1 keeps long edges).
+    seed:
+        Random-initialization and pass-order seed.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    n = x.shape[0]
+    if n == 0:
+        raise ValueError("cannot build Vamana over an empty dataset")
+    rng = np.random.default_rng(seed)
+    entry = medoid(x)
+
+    adjacency: List[List[int]] = []
+    degree = min(r, max(n - 1, 0))
+    for i in range(n):
+        if degree == 0:
+            adjacency.append([])
+            continue
+        choices = rng.choice(n - 1, size=degree, replace=False)
+        choices = np.where(choices >= i, choices + 1, choices)
+        adjacency.append(list(map(int, choices)))
+
+    for pass_alpha in (1.0, alpha):
+        order = rng.permutation(n)
+        for i in order:
+            i = int(i)
+            dist_fn = _point_distance_fn(x, x[i])
+            result = beam_search(adjacency, entry, dist_fn, search_l)
+            candidates = list(result.ids) + adjacency[i]
+            adjacency[i] = robust_prune(x, i, candidates, pass_alpha, r)
+            for j in adjacency[i]:
+                if i not in adjacency[j]:
+                    adjacency[j].append(i)
+                if len(adjacency[j]) > r:
+                    adjacency[j] = robust_prune(
+                        x, j, adjacency[j], pass_alpha, r
+                    )
+
+    return ProximityGraph(
+        adjacency=[np.array(nbrs, dtype=np.int64) for nbrs in adjacency],
+        entry_point=entry,
+        name="vamana",
+        build_stats={"r": r, "search_l": search_l, "alpha": alpha},
+    )

@@ -1,0 +1,31 @@
+"""PQ-integrated graph indexes (paper §7): in-memory and SSD hybrid.
+
+* :class:`MemoryIndex` — codes + graph in memory, ADC-only search.
+* :class:`DiskIndex` — DiskANN-style: codes in memory, vectors + graph
+  on a :class:`SimulatedSSD`, exact rerank from fetched pages.
+* :class:`L2RIndex` — learning-to-route ablation baseline.
+* :class:`FreshVamanaIndex` — streaming inserts/deletes (Fresh-DiskANN).
+* :class:`FilteredMemoryIndex` — label-filtered search (Filter-DiskANN).
+"""
+
+from .disk_index import DiskIndex, DiskSearchResult
+from .filtered import FilteredMemoryIndex, FilteredSearchResult
+from .l2r import L2RIndex, LearnedRoutingReweighter
+from .memory_index import MemoryIndex, MemorySearchResult
+from .ssd import SimulatedSSD, SSDConfig
+from .streaming import FreshVamanaIndex, StreamingSearchResult
+
+__all__ = [
+    "MemoryIndex",
+    "MemorySearchResult",
+    "DiskIndex",
+    "DiskSearchResult",
+    "L2RIndex",
+    "LearnedRoutingReweighter",
+    "SimulatedSSD",
+    "SSDConfig",
+    "FreshVamanaIndex",
+    "StreamingSearchResult",
+    "FilteredMemoryIndex",
+    "FilteredSearchResult",
+]

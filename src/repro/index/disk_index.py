@@ -1,0 +1,175 @@
+"""PQ-integrated graph ANNS, SSD-memory hybrid scenario (paper §7).
+
+DiskANN-style search: compact codes + codebook live in memory; the graph
+adjacency and the full-precision vectors live on the (simulated) SSD.
+Routing distances come from the in-memory ADC tables; every expansion
+reads the vertex's page, which also delivers its full vector — those
+exact distances drive the final rerank, so the hybrid scenario reaches
+high recall even with coarse codes, at the price of I/O per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graphs.base import ProximityGraph
+from ..quantization.base import BaseQuantizer
+from .ssd import SimulatedSSD, SSDConfig
+
+
+@dataclass
+class DiskSearchResult:
+    """Result of one hybrid query."""
+
+    ids: np.ndarray
+    distances: np.ndarray  # exact (reranked) distances
+    hops: int
+    io_rounds: int
+    page_reads: int
+    simulated_io_us: float
+    distance_computations: int
+
+
+class DiskIndex:
+    """DiskANN-style hybrid index over a simulated SSD.
+
+    Parameters
+    ----------
+    graph:
+        The Vamana (or other) proximity graph.
+    quantizer:
+        Fitted quantizer whose codes stay in memory.
+    x:
+        Full-precision vectors; stored on the simulated SSD together
+        with the adjacency.
+    ssd_config:
+        Latency model of the simulated device.
+    io_width:
+        W — how many frontier vertices are fetched per I/O round
+        (DiskANN's "beam width" for request pipelining).
+    table_transform:
+        Optional hook applied to each query's ADC lookup table before
+        routing (used by the learning-to-route ablation to reweight
+        distances without touching the quantizer).
+    """
+
+    def __init__(
+        self,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        x: np.ndarray,
+        ssd_config: Optional[SSDConfig] = None,
+        io_width: int = 4,
+        table_transform: Optional[Callable] = None,
+    ) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if graph.num_vertices != x.shape[0]:
+            raise ValueError(
+                f"graph has {graph.num_vertices} vertices, x has {x.shape[0]}"
+            )
+        if not quantizer.is_fitted:
+            raise ValueError("quantizer must be fitted")
+        if io_width < 1:
+            raise ValueError("io_width must be >= 1")
+        self.graph = graph
+        self.quantizer = quantizer
+        self.codes = quantizer.encode(x)
+        self.ssd = SimulatedSSD(x, graph.adjacency, ssd_config)
+        self.io_width = int(io_width)
+        self.table_transform = table_transform
+        self.dim = x.shape[1]
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> DiskSearchResult:
+        """DiskANN beam search + exact rerank.
+
+        Maintains a size-``beam_width`` candidate list ranked by ADC
+        distance; each round reads up to ``io_width`` of the closest
+        unexpanded candidates from SSD, scores their neighbors via the
+        lookup table, and records exact distances for the rerank.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        table = self.quantizer.lookup_table(query)
+        if self.table_transform is not None:
+            table = self.table_transform(table)
+        codes = self.codes
+        self.ssd.reset_counters()
+
+        entry = self.graph.entry_point
+        n = self.graph.num_vertices
+        seen = np.zeros(n, dtype=bool)
+        expanded = np.zeros(n, dtype=bool)
+
+        cand_ids = [entry]
+        cand_d = [float(table.distance(codes[entry]))]
+        seen[entry] = True
+        dist_comps = 1
+
+        exact_ids: list[int] = []
+        exact_d: list[float] = []
+        hops = 0
+        io_rounds = 0
+
+        while True:
+            frontier = [v for v in cand_ids if not expanded[v]][: self.io_width]
+            if not frontier:
+                break
+            io_rounds += 1
+            batch = np.array(frontier, dtype=np.int64)
+            vectors, adjacencies = self.ssd.read_batch(batch)
+            for pos, v in enumerate(frontier):
+                expanded[v] = True
+                hops += 1
+                diff = vectors[pos].astype(np.float64) - query
+                exact_ids.append(v)
+                exact_d.append(float(diff @ diff))
+                dist_comps += 1
+
+                neighbors = adjacencies[pos]
+                fresh = neighbors[~seen[neighbors]] if neighbors.size else neighbors
+                if fresh.size:
+                    seen[fresh] = True
+                    nd = table.distance(codes[fresh])
+                    dist_comps += fresh.size
+                    cand_ids.extend(int(u) for u in fresh)
+                    cand_d.extend(float(d) for d in np.atleast_1d(nd))
+            order = np.argsort(cand_d, kind="stable")[:beam_width]
+            cand_ids = [cand_ids[i] for i in order]
+            cand_d = [cand_d[i] for i in order]
+
+        # Exact rerank over every vertex whose page was read.
+        exact_ids_arr = np.array(exact_ids, dtype=np.int64)
+        exact_d_arr = np.array(exact_d, dtype=np.float64)
+        order = np.argsort(exact_d_arr, kind="stable")[:k]
+        return DiskSearchResult(
+            ids=exact_ids_arr[order],
+            distances=exact_d_arr[order],
+            hops=hops,
+            io_rounds=io_rounds,
+            page_reads=self.ssd.page_reads,
+            simulated_io_us=self.ssd.simulated_io_us,
+            distance_computations=dist_comps,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Resident (RAM) footprint: codes + codebook only."""
+        codes_bytes = self.codes.size * self.codes.dtype.itemsize
+        return int(codes_bytes) + self.quantizer.parameter_bytes()
+
+    def ssd_bytes(self) -> int:
+        return self.ssd.stored_bytes()
+
+    def memory_fraction(self) -> float:
+        """RAM bytes over total dataset + graph bytes (the paper's f)."""
+        return self.memory_bytes() / max(self.ssd_bytes(), 1)

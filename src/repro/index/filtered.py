@@ -1,0 +1,114 @@
+"""Label-filtered search (Filter-DiskANN-style [28]).
+
+The paper lists Filtered-DiskANN among the DiskANN variants its
+quantizer integrates with; this module supplies that capability for the
+in-memory index: every vertex carries an integer label, and queries ask
+for the nearest neighbors *within a label*.
+
+Routing is unrestricted (off-label vertices still act as stepping
+stones — the key insight of filtered graph search), while the result
+set is label-filtered.  If a beam does not surface ``k`` matching
+vertices, the search escalates the beam width geometrically up to
+``max_beam_width``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.base import ProximityGraph
+from ..quantization.base import BaseQuantizer
+
+
+@dataclass
+class FilteredSearchResult:
+    """Result of one filtered query."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_computations: int
+    beam_width_used: int
+
+
+class FilteredMemoryIndex:
+    """In-memory PQ+graph index with per-vertex labels.
+
+    Parameters
+    ----------
+    graph, quantizer, x:
+        As in :class:`~repro.index.memory_index.MemoryIndex`.
+    labels:
+        ``(n,)`` integer label per vertex.
+    """
+
+    def __init__(
+        self,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        x: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        labels = np.asarray(labels).reshape(-1)
+        if labels.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"got {labels.shape[0]} labels for {x.shape[0]} vectors"
+            )
+        if graph.num_vertices != x.shape[0]:
+            raise ValueError(
+                f"graph has {graph.num_vertices} vertices, x has {x.shape[0]}"
+            )
+        if not quantizer.is_fitted:
+            raise ValueError("quantizer must be fitted")
+        self.graph = graph
+        self.quantizer = quantizer
+        self.codes = quantizer.encode(x)
+        self.labels = labels
+
+    def label_count(self, label: int) -> int:
+        """Number of vertices carrying ``label``."""
+        return int((self.labels == label).sum())
+
+    def search(
+        self,
+        query: np.ndarray,
+        label: int,
+        k: int = 10,
+        beam_width: int = 32,
+        max_beam_width: int = 256,
+    ) -> FilteredSearchResult:
+        """Nearest vertices with ``labels == label``.
+
+        Escalates the beam geometrically until ``k`` matching vertices
+        are found (or ``max_beam_width`` is reached).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        available = self.label_count(label)
+        table = self.quantizer.lookup_table(query)
+        codes = self.codes
+
+        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
+            return table.distance(codes[vertex_ids])
+
+        beam = max(beam_width, k)
+        total_hops = 0
+        total_comps = 0
+        while True:
+            result = self.graph.search(dist_fn, beam)
+            total_hops += result.hops
+            total_comps += result.distance_computations
+            mask = self.labels[result.ids] == label
+            matched = result.ids[mask]
+            if matched.size >= min(k, available) or beam >= max_beam_width:
+                return FilteredSearchResult(
+                    ids=matched[:k],
+                    distances=result.distances[mask][:k],
+                    hops=total_hops,
+                    distance_computations=total_comps,
+                    beam_width_used=beam,
+                )
+            beam = min(2 * beam, max_beam_width)

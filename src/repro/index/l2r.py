@@ -1,0 +1,124 @@
+"""Learning-to-Route baseline (Baranchuk et al. [13]; ablation row
+"RPQ w/ L2R" in Tables 6–7).
+
+L2R keeps the quantizer fixed (vanilla PQ) and instead *learns the
+routing function*: a model is trained so that estimated distances rank
+candidates the way true distances would.  The original work learns
+vertex representations with a deep net; this reproduction learns the
+cheapest faithful member of that family — non-negative per-chunk
+weights ``w`` on the ADC lookup table, fitted by least squares so that
+``sum_j w_j * table_j[code_j]`` approximates the true distance on
+sampled (query, vertex) pairs.  The quantizer itself is never updated,
+which is exactly the contrast the ablation draws: routing learning
+alone vs. RPQ's joint quantizer learning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.base import ProximityGraph
+from ..quantization.adc import LookupTable
+from ..quantization.base import BaseQuantizer
+from .memory_index import MemoryIndex, MemorySearchResult
+
+
+class LearnedRoutingReweighter:
+    """Per-chunk table weights fitted against true distances."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        self.weights = weights
+
+    @staticmethod
+    def fit(
+        quantizer: BaseQuantizer,
+        x: np.ndarray,
+        num_queries: int = 64,
+        pairs_per_query: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LearnedRoutingReweighter":
+        """Least-squares fit of chunk weights on sampled pairs."""
+        rng = rng or np.random.default_rng()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n = x.shape[0]
+        codes = quantizer.encode(x)
+        m = codes.shape[1]
+
+        features = []
+        targets = []
+        query_ids = rng.choice(n, size=min(num_queries, n), replace=False)
+        for qi in query_ids:
+            query = x[qi]
+            table = quantizer.lookup_table(query)
+            others = rng.choice(n, size=min(pairs_per_query, n), replace=False)
+            per_chunk = table.table[
+                np.arange(table.num_chunks)[None, :],
+                codes[others].astype(np.int64),
+            ]
+            features.append(per_chunk)
+            diff = x[others] - query
+            targets.append(np.einsum("ij,ij->i", diff, diff))
+        a = np.concatenate(features, axis=0)
+        b = np.concatenate(targets)
+        weights, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return LearnedRoutingReweighter(np.clip(weights, 0.0, None))
+
+    def reweight(self, table: LookupTable) -> LookupTable:
+        """Apply the learned weights to an ADC table."""
+        if table.num_chunks != self.weights.size:
+            raise ValueError(
+                f"table has {table.num_chunks} chunks, weights expect "
+                f"{self.weights.size}"
+            )
+        return LookupTable(table=table.table * self.weights[:, None])
+
+
+class L2RIndex(MemoryIndex):
+    """In-memory index whose routing distances use learned weights."""
+
+    def __init__(
+        self,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        x: np.ndarray,
+        num_queries: int = 64,
+        pairs_per_query: int = 64,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(graph, quantizer, x)
+        self.reweighter = LearnedRoutingReweighter.fit(
+            quantizer,
+            x,
+            num_queries=num_queries,
+            pairs_per_query=pairs_per_query,
+            rng=rng,
+        )
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> MemorySearchResult:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > beam_width:
+            raise ValueError("k cannot exceed beam_width")
+        table = self.reweighter.reweight(self.quantizer.lookup_table(query))
+        codes = self.codes
+
+        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
+            return table.distance(codes[vertex_ids])
+
+        result = self.graph.search(dist_fn, beam_width, k=k)
+        return MemorySearchResult(
+            ids=result.ids,
+            distances=result.distances,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )

@@ -1,0 +1,124 @@
+"""PQ-integrated graph ANNS, in-memory scenario (paper §7).
+
+Only the compact codes, the codebook, and the graph stay resident; the
+original vectors are dropped after encoding.  Routing and the final
+ranking both use ADC lookup-table distances — there is no reranking
+step, which is why this scenario's achievable recall is bounded by the
+quantizer's quality (the effect Tables 7 / Fig. 10 measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.base import ProximityGraph
+from ..quantization.base import BaseQuantizer
+
+
+@dataclass
+class MemorySearchResult:
+    """Result of one in-memory query."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_computations: int
+
+
+class MemoryIndex:
+    """In-memory PQ + proximity-graph index.
+
+    Parameters
+    ----------
+    graph:
+        A built proximity graph over the dataset.
+    quantizer:
+        A fitted quantizer; only its codes/codebook are retained.
+    x:
+        The dataset — used once to compute the compact codes.
+    distance_mode:
+        ``"adc"`` (default, the paper's choice — asymmetric distances
+        from full-precision queries) or ``"sdc"`` (the query is
+        quantized too; cheaper table reuse, noisier estimates — kept to
+        reproduce the paper's §3.1 premise that ADC is the better
+        trade).
+    """
+
+    def __init__(
+        self,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        x: np.ndarray,
+        distance_mode: str = "adc",
+    ) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if graph.num_vertices != x.shape[0]:
+            raise ValueError(
+                f"graph has {graph.num_vertices} vertices, x has {x.shape[0]}"
+            )
+        if not quantizer.is_fitted:
+            raise ValueError("quantizer must be fitted")
+        if distance_mode not in ("adc", "sdc"):
+            raise ValueError("distance_mode must be 'adc' or 'sdc'")
+        self.distance_mode = distance_mode
+        self.graph = graph
+        self.quantizer = quantizer
+        self.codes = quantizer.encode(x)
+        self.dim = x.shape[1]
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> MemorySearchResult:
+        """Beam-search with ADC distances; no rerank."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > beam_width:
+            raise ValueError("k cannot exceed beam_width")
+        if self.distance_mode == "sdc":
+            # Quantize the query first: the table then measures
+            # codeword-to-codeword distances (symmetric computation).
+            book = self.quantizer.codebook
+            transformed = self.quantizer.transform(query)
+            recon = book.decode(book.encode(transformed[None, :]))[0]
+            from ..quantization.adc import LookupTable
+
+            table = LookupTable.build(book, recon)
+        else:
+            table = self.quantizer.lookup_table(query)
+        codes = self.codes
+
+        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
+            return table.distance(codes[vertex_ids])
+
+        result = self.graph.search(dist_fn, beam_width, k=k)
+        return MemorySearchResult(
+            ids=result.ids,
+            distances=result.distances,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Resident footprint: codes + codebook + graph adjacency."""
+        codes_bytes = self.codes.size * self.codes.dtype.itemsize
+        return (
+            int(codes_bytes)
+            + self.quantizer.parameter_bytes()
+            + self.graph.memory_bytes()
+        )
+
+    def full_precision_bytes(self) -> int:
+        """What the same dataset would cost uncompressed (float32)."""
+        n = self.graph.num_vertices
+        return n * self.dim * 4 + self.graph.memory_bytes()
+
+    def compression_ratio(self) -> float:
+        return self.full_precision_bytes() / max(self.memory_bytes(), 1)

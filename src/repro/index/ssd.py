@@ -1,0 +1,110 @@
+"""Simulated SSD page store (the hybrid scenario's external memory).
+
+DiskANN keeps the graph adjacency and the full-precision vectors on SSD
+and pays one page read per visited vertex.  The paper's Fig. 5 reports
+"Disk I/O time", which at fixed hardware is (number of page reads) x
+(per-read latency).  This simulator reproduces exactly that accounting:
+
+* each vertex's record (vector + adjacency) lives on one page;
+* every :meth:`read_vertex` increments a counter and charges a
+  configurable latency;
+* batched reads model DiskANN's beam-width-deep request pipelining via
+  a simple parallelism factor.
+
+Absolute latencies are a device model, not a measurement — the curve
+*shapes* (I/O time grows with hops; fewer hops at equal recall means
+less I/O) are what the reproduction preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SSDConfig:
+    """Latency model of the simulated device.
+
+    Attributes
+    ----------
+    read_latency_us:
+        Service time of one random page read (NVMe-class default).
+    queue_parallelism:
+        How many reads the device can overlap; a batch of ``b`` reads
+        costs ``ceil(b / parallelism) * read_latency_us``.
+    page_bytes:
+        Page size used only for capacity accounting.
+    """
+
+    read_latency_us: float = 100.0
+    queue_parallelism: int = 8
+    page_bytes: int = 4096
+
+
+class SimulatedSSD:
+    """Page store holding full vectors and adjacency per vertex."""
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        adjacency: Sequence[np.ndarray],
+        config: Optional[SSDConfig] = None,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be 2-D")
+        if len(adjacency) != vectors.shape[0]:
+            raise ValueError(
+                f"adjacency has {len(adjacency)} entries for "
+                f"{vectors.shape[0]} vectors"
+            )
+        self._vectors = vectors
+        self._adjacency = [np.asarray(a, dtype=np.int64) for a in adjacency]
+        self.config = config or SSDConfig()
+        self.reset_counters()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._vectors.shape[0]
+
+    def reset_counters(self) -> None:
+        self.page_reads = 0
+        self.batched_requests = 0
+        self.simulated_io_us = 0.0
+
+    # ------------------------------------------------------------------
+    def read_vertex(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch one vertex record: (vector, neighbor ids)."""
+        self.page_reads += 1
+        self.batched_requests += 1
+        self.simulated_io_us += self.config.read_latency_us
+        return self._vectors[vertex], self._adjacency[vertex]
+
+    def read_batch(
+        self, vertices: np.ndarray
+    ) -> Tuple[np.ndarray, list]:
+        """Fetch several records under the parallel-queue cost model."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        count = int(vertices.size)
+        if count == 0:
+            return np.empty((0, self._vectors.shape[1]), dtype=np.float32), []
+        self.page_reads += count
+        self.batched_requests += 1
+        waves = int(np.ceil(count / self.config.queue_parallelism))
+        self.simulated_io_us += waves * self.config.read_latency_us
+        return self._vectors[vertices], [self._adjacency[int(v)] for v in vertices]
+
+    # ------------------------------------------------------------------
+    def stored_bytes(self) -> int:
+        """On-device footprint: vectors + adjacency, page-rounded."""
+        per_vertex = (
+            self._vectors.shape[1] * self._vectors.dtype.itemsize
+        )
+        adj = sum(a.size for a in self._adjacency) * 4
+        raw = per_vertex * self.num_vertices + adj
+        pages = int(np.ceil(raw / self.config.page_bytes))
+        return pages * self.config.page_bytes

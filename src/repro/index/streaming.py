@@ -1,0 +1,246 @@
+"""Streaming index maintenance (Fresh-DiskANN-style [61]).
+
+The paper integrates RPQ with DiskANN *and its variants*, including
+Fresh-DiskANN — the streaming flavor that supports inserts and deletes
+without a full rebuild.  This module provides that substrate:
+
+* :meth:`FreshVamanaIndex.insert` — greedy-search + robust-prune
+  insertion (the same primitive Vamana construction uses);
+* :meth:`FreshVamanaIndex.delete` — lazy tombstoning: the vertex stops
+  appearing in results but keeps routing traffic until consolidation;
+* :meth:`FreshVamanaIndex.consolidate` — Fresh-DiskANN's delete
+  consolidation: neighbors of tombstoned vertices inherit the
+  tombstone's out-edges (so connectivity survives) and are re-pruned.
+
+Search estimates distances with any fitted quantizer's ADC tables, so a
+frozen RPQ drops in unchanged.  Codes for inserted vectors are computed
+with the already-trained quantizer (the paper's deployment story:
+train offline, serve online).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs.base import medoid
+from ..graphs.beam import beam_search
+from ..graphs.vamana import robust_prune
+from ..quantization.base import BaseQuantizer
+
+
+@dataclass
+class StreamingSearchResult:
+    """Result of one query against the streaming index."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_computations: int
+
+
+class FreshVamanaIndex:
+    """Mutable Vamana graph + quantized codes with insert/delete.
+
+    Parameters
+    ----------
+    quantizer:
+        A fitted quantizer (PQ/OPQ/RPQ...).  Codes are computed on
+        insert; routing uses ADC against these codes.
+    dim:
+        Vector dimensionality.
+    r:
+        Maximum out-degree.
+    search_l:
+        Beam width for insert-time searches.
+    alpha:
+        Robust-prune α.
+    """
+
+    def __init__(
+        self,
+        quantizer: BaseQuantizer,
+        dim: int,
+        r: int = 16,
+        search_l: int = 40,
+        alpha: float = 1.2,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not quantizer.is_fitted:
+            raise ValueError("quantizer must be fitted before serving")
+        if r < 1:
+            raise ValueError("r must be >= 1")
+        self.quantizer = quantizer
+        self.dim = int(dim)
+        self.r = int(r)
+        self.search_l = int(search_l)
+        self.alpha = float(alpha)
+        self.rng = np.random.default_rng(seed)
+
+        self._vectors: List[np.ndarray] = []
+        self._codes: List[np.ndarray] = []
+        self._adjacency: List[List[int]] = []
+        self._deleted: List[bool] = []
+        self._entry: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Total slots, including tombstoned ones."""
+        return len(self._vectors)
+
+    @property
+    def num_active(self) -> int:
+        return self.num_vertices - sum(self._deleted)
+
+    @property
+    def num_deleted(self) -> int:
+        return sum(self._deleted)
+
+    # ------------------------------------------------------------------
+    def insert(self, vector: np.ndarray) -> int:
+        """Add one vector; returns its vertex id."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise ValueError(
+                f"vector has dim {vector.shape[0]}, index expects {self.dim}"
+            )
+        new_id = len(self._vectors)
+        self._vectors.append(vector)
+        self._codes.append(self.quantizer.encode(vector[None, :])[0])
+        self._deleted.append(False)
+
+        if self._entry is None:
+            self._adjacency.append([])
+            self._entry = new_id
+            return new_id
+
+        x = np.asarray(self._vectors)
+        result = beam_search(
+            self._adjacency,
+            self._entry,
+            self._exact_fn(vector),
+            self.search_l,
+        )
+        candidates = list(result.ids)
+        self._adjacency.append(
+            robust_prune(x, new_id, candidates, self.alpha, self.r)
+        )
+        for j in self._adjacency[new_id]:
+            if new_id not in self._adjacency[j]:
+                self._adjacency[j].append(new_id)
+            if len(self._adjacency[j]) > self.r:
+                self._adjacency[j] = robust_prune(
+                    x, j, self._adjacency[j], self.alpha, self.r
+                )
+        return new_id
+
+    def insert_batch(self, vectors: np.ndarray) -> List[int]:
+        """Insert rows of ``vectors``; returns the assigned ids."""
+        return [self.insert(v) for v in np.atleast_2d(vectors)]
+
+    def delete(self, vertex: int) -> None:
+        """Tombstone ``vertex``: it disappears from results immediately
+        but keeps serving as a routing stepping stone until
+        :meth:`consolidate`."""
+        if not 0 <= vertex < self.num_vertices:
+            raise KeyError(f"no vertex {vertex}")
+        if self._deleted[vertex]:
+            raise KeyError(f"vertex {vertex} already deleted")
+        self._deleted[vertex] = True
+
+    def consolidate(self) -> int:
+        """Apply Fresh-DiskANN delete consolidation.
+
+        Every in-neighbor of a tombstoned vertex inherits the
+        tombstone's out-edges and is re-pruned; tombstones then lose all
+        their edges.  Returns the number of vertices cleaned up.
+        Tombstoned slots are retained (ids stay stable) but become
+        unreachable.
+        """
+        deleted = {v for v, dead in enumerate(self._deleted) if dead}
+        if not deleted:
+            return 0
+        x = np.asarray(self._vectors)
+        for v in range(self.num_vertices):
+            if self._deleted[v]:
+                continue
+            dead_neighbors = [u for u in self._adjacency[v] if u in deleted]
+            if not dead_neighbors:
+                continue
+            survivors = [u for u in self._adjacency[v] if u not in deleted]
+            inherited = [
+                w
+                for u in dead_neighbors
+                for w in self._adjacency[u]
+                if w not in deleted and w != v
+            ]
+            self._adjacency[v] = robust_prune(
+                x, v, survivors + inherited, self.alpha, self.r
+            )
+        for v in deleted:
+            self._adjacency[v] = []
+        if self._entry in deleted:
+            self._entry = self._pick_new_entry(deleted)
+        return len(deleted)
+
+    def _pick_new_entry(self, deleted: set) -> Optional[int]:
+        alive = [v for v in range(self.num_vertices) if v not in deleted and not self._deleted[v]]
+        if not alive:
+            return None
+        x = np.asarray(self._vectors)[alive]
+        return alive[medoid(x)]
+
+    # ------------------------------------------------------------------
+    def _exact_fn(self, query: np.ndarray):
+        def fn(vertex_ids: np.ndarray) -> np.ndarray:
+            rows = np.asarray([self._vectors[int(v)] for v in vertex_ids])
+            diff = rows - query
+            return np.einsum("ij,ij->i", diff, diff)
+
+        return fn
+
+    def _adc_fn(self, query: np.ndarray):
+        table = self.quantizer.lookup_table(query)
+        codes = np.asarray(self._codes)
+
+        def fn(vertex_ids: np.ndarray) -> np.ndarray:
+            return table.distance(codes[vertex_ids])
+
+        return fn
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> StreamingSearchResult:
+        """ADC beam search; tombstoned vertices are filtered from the
+        results (but still route, as in Fresh-DiskANN)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._entry is None or self.num_active == 0:
+            return StreamingSearchResult(
+                ids=np.empty(0, dtype=np.int64),
+                distances=np.empty(0),
+                hops=0,
+                distance_computations=0,
+            )
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        result = beam_search(
+            self._adjacency,
+            self._entry,
+            self._adc_fn(query),
+            beam_width,
+        )
+        mask = np.array([not self._deleted[int(v)] for v in result.ids])
+        ids = result.ids[mask][:k]
+        dists = result.distances[mask][:k]
+        return StreamingSearchResult(
+            ids=ids,
+            distances=dists,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )

@@ -1,0 +1,7 @@
+"""Evaluation metrics: recall@k (Eq. 1), QPS timing, and counters."""
+
+from .counters import QueryStats
+from .recall import recall_at_k
+from .timer import TimingResult, time_queries
+
+__all__ = ["recall_at_k", "TimingResult", "time_queries", "QueryStats"]

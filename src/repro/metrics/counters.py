@@ -1,0 +1,38 @@
+"""Aggregation of per-query search statistics (hops, I/O, ...)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class QueryStats:
+    """Aggregated efficiency counters over a query batch."""
+
+    mean_hops: float
+    mean_distance_computations: float
+    mean_page_reads: float = 0.0
+    mean_io_us: float = 0.0
+
+    @staticmethod
+    def aggregate(results: Sequence[object]) -> "QueryStats":
+        """Average the counters exposed by search results.
+
+        Accepts any result objects with ``hops`` and
+        ``distance_computations`` attributes; ``page_reads`` and
+        ``simulated_io_us`` are picked up when present (hybrid scenario).
+        """
+        if not results:
+            raise ValueError("need at least one result")
+        n = len(results)
+        hops = sum(r.hops for r in results) / n
+        comps = sum(r.distance_computations for r in results) / n
+        reads = sum(getattr(r, "page_reads", 0) for r in results) / n
+        io_us = sum(getattr(r, "simulated_io_us", 0.0) for r in results) / n
+        return QueryStats(
+            mean_hops=hops,
+            mean_distance_computations=comps,
+            mean_page_reads=reads,
+            mean_io_us=io_us,
+        )

@@ -1,0 +1,29 @@
+"""Recall@k (paper Eq. 1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def recall_at_k(result_ids: Sequence[np.ndarray], gt_ids: np.ndarray) -> float:
+    """Mean recall@k over a query batch.
+
+    Parameters
+    ----------
+    result_ids:
+        Per-query arrays of returned ids (each up to ``k`` long).
+    gt_ids:
+        ``(num_queries, k)`` exact neighbor ids.
+    """
+    gt_ids = np.atleast_2d(np.asarray(gt_ids))
+    if len(result_ids) != gt_ids.shape[0]:
+        raise ValueError(
+            f"got {len(result_ids)} result lists for {gt_ids.shape[0]} queries"
+        )
+    k = gt_ids.shape[1]
+    total = 0.0
+    for returned, truth in zip(result_ids, gt_ids):
+        total += len(set(np.asarray(returned).tolist()) & set(truth.tolist()))
+    return total / (gt_ids.shape[0] * k)

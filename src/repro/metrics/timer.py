@@ -1,0 +1,45 @@
+"""QPS measurement helpers.
+
+The paper's primary efficiency metric is queries-per-second.  Absolute
+numbers on this substrate (pure Python) are far below the paper's C++
+values; the harness therefore also records hardware-independent proxies
+(hops, distance computations, simulated I/O) alongside wall-clock QPS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock timing of a query batch."""
+
+    total_seconds: float
+    num_queries: int
+
+    @property
+    def qps(self) -> float:
+        if self.total_seconds <= 0:
+            return float("inf")
+        return self.num_queries / self.total_seconds
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return 1000.0 * self.total_seconds / max(self.num_queries, 1)
+
+
+def time_queries(
+    search_fn: Callable[[np.ndarray], object],
+    queries: Sequence[np.ndarray],
+) -> TimingResult:
+    """Run ``search_fn`` once per query under a monotonic timer."""
+    start = time.perf_counter()
+    for q in queries:
+        search_fn(q)
+    elapsed = time.perf_counter() - start
+    return TimingResult(total_seconds=elapsed, num_queries=len(queries))

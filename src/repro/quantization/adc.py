@@ -1,0 +1,97 @@
+"""Asymmetric / symmetric distance computation (paper §3.1).
+
+Given a query, a :class:`LookupTable` caches the squared distances from
+each query sub-vector to every codeword of the matching sub-codebook.
+The estimated distance between the query and any database vector is then
+the sum of ``M`` table entries addressed by the vector's compact code —
+the core trick that makes PQ-integrated graph routing cheap.
+
+* ADC (asymmetric): query stays full precision — lower error, the
+  paper's default.
+* SDC (symmetric): query is quantized too — provided for completeness
+  and for the ablation on distance modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .codebook import Codebook
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """Per-query table of sub-vector-to-codeword squared distances.
+
+    Attributes
+    ----------
+    table:
+        ``(M, K)`` array; ``table[j, k]`` is
+        :math:`\\delta(\\vec x_q^j, \\vec c^j_k)`.
+    """
+
+    table: np.ndarray
+
+    @staticmethod
+    def build(codebook: "Codebook", query: np.ndarray) -> "LookupTable":
+        """Precompute the table for ``query`` (already transformed)."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != codebook.dim:
+            raise ValueError(
+                f"query dim {query.shape[0]} != codebook dim {codebook.dim}"
+            )
+        m, k, d_sub = codebook.codewords.shape
+        sub_queries = query.reshape(m, 1, d_sub)
+        diff = codebook.codewords - sub_queries
+        table = np.einsum("mkd,mkd->mk", diff, diff)
+        return LookupTable(table=table)
+
+    @property
+    def num_chunks(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def num_codewords(self) -> int:
+        return self.table.shape[1]
+
+    def distance(self, codes: np.ndarray) -> np.ndarray:
+        """ADC distance estimate for compact codes ``(n, M)`` or ``(M,)``."""
+        codes = np.asarray(codes)
+        single = codes.ndim == 1
+        codes2d = np.atleast_2d(codes).astype(np.int64, copy=False)
+        if codes2d.shape[1] != self.num_chunks:
+            raise ValueError(
+                f"codes have {codes2d.shape[1]} chunks, table expects "
+                f"{self.num_chunks}"
+            )
+        out = self.table[np.arange(self.num_chunks)[None, :], codes2d].sum(axis=1)
+        return out[0] if single else out
+
+
+def adc_distances(
+    codebook: "Codebook",
+    query: np.ndarray,
+    codes: np.ndarray,
+) -> np.ndarray:
+    """One-shot ADC: build the table and evaluate ``codes``."""
+    return LookupTable.build(codebook, query).distance(codes)
+
+
+def sdc_distances(
+    codebook: "Codebook",
+    query: np.ndarray,
+    codes: np.ndarray,
+) -> np.ndarray:
+    """Symmetric distance: quantize the query first, then estimate.
+
+    Uses the codeword-to-codeword distance identity; slightly cheaper per
+    query batch but noisier than ADC (paper §3.1 adopts ADC for exactly
+    this reason).
+    """
+    query_codes = codebook.encode(np.atleast_2d(query))[0]
+    query_recon = codebook.decode(query_codes[None, :])[0]
+    return adc_distances(codebook, query_recon, codes)

@@ -1,0 +1,95 @@
+"""Common interface for all quantizers.
+
+Every quantizer in this repo (PQ, OPQ, Catalyst, L&C, and the frozen RPQ)
+exposes the same surface so graph indexes can treat them interchangeably:
+
+* :meth:`fit` — train on a sample of the dataset;
+* :meth:`encode` / :meth:`decode` — compact codes <-> quantized vectors;
+* :meth:`transform` — map a raw vector into the quantizer's code space
+  (identity for PQ, rotation for OPQ/RPQ, projection for Catalyst);
+* :meth:`lookup_table` — ADC table for a query (see :mod:`.adc`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .adc import LookupTable
+from .codebook import Codebook
+
+
+class BaseQuantizer(abc.ABC):
+    """Abstract product quantizer."""
+
+    codebook: Optional[Codebook]
+
+    def __init__(self, num_chunks: int, num_codewords: int) -> None:
+        if num_chunks < 1:
+            raise ValueError("num_chunks (M) must be >= 1")
+        if num_codewords < 2:
+            raise ValueError("num_codewords (K) must be >= 2")
+        self.num_chunks = int(num_chunks)
+        self.num_codewords = int(num_codewords)
+        self.codebook = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.codebook is not None
+
+    def _require_fitted(self) -> Codebook:
+        if self.codebook is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+        return self.codebook
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray) -> "BaseQuantizer":
+        """Train the quantizer on ``x`` and return ``self``."""
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Map raw vectors into the quantizer's internal space.
+
+        The default is the identity; rotation/projection quantizers
+        override this.  Queries must pass through the same transform
+        before ADC (paper §7: "we first divide it into sub-vectors using
+        the orthonormal matrix R").
+        """
+        return np.asarray(x, dtype=np.float64)
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Compact codes ``(n, M)`` for raw vectors ``x``."""
+        return self._require_fitted().encode(self.transform(x))
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Quantized vectors in the *internal* space for ``codes``."""
+        return self._require_fitted().decode(codes)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip ``x`` through encode/decode (internal space)."""
+        return self.decode(self.encode(x))
+
+    def lookup_table(self, query: np.ndarray) -> LookupTable:
+        """Precomputed ADC table for a (raw) query vector."""
+        return LookupTable.build(self._require_fitted(), self.transform(query))
+
+    # ------------------------------------------------------------------
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Mean squared distortion measured in the internal space."""
+        transformed = np.atleast_2d(self.transform(x))
+        recon = self.decode(self._require_fitted().encode(transformed))
+        return float(((transformed - recon) ** 2).sum(axis=1).mean())
+
+    def parameter_bytes(self) -> int:
+        """Serialized model size in bytes (codebook only by default)."""
+        return self._require_fitted().parameter_bytes()
+
+    def code_bytes_per_vector(self) -> int:
+        """Memory cost of one compact code."""
+        book = self._require_fitted()
+        return int(book.num_chunks * book.code_dtype.itemsize)

@@ -1,0 +1,65 @@
+"""Scalar quantization (SQ8) — a non-PQ compression baseline.
+
+Each dimension is quantized independently onto a uniform 256-level grid
+between its per-dimension min and max.  SQ8 is the "simple but large"
+end of the compression spectrum (1 byte *per dimension* instead of 1
+byte per chunk), useful as a sanity baseline for the memory/recall
+trade-off the paper's Figs. 9–10 sweep.
+
+Implementation note: SQ8 *is* a product quantizer with ``M = D`` chunks
+of one dimension each and a fixed arithmetic codebook, so it plugs into
+the shared :class:`Codebook` / ADC machinery unchanged — only ``fit``
+and ``encode`` bypass k-means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseQuantizer
+from .codebook import Codebook
+
+
+class ScalarQuantizer(BaseQuantizer):
+    """Per-dimension uniform 8-bit quantizer.
+
+    Parameters
+    ----------
+    num_levels:
+        Grid resolution per dimension (<= 256 keeps one-byte codes).
+    """
+
+    def __init__(self, num_levels: int = 256) -> None:
+        # num_chunks is fixed by the data dimension at fit time; pass a
+        # placeholder of 1 and overwrite in fit().
+        super().__init__(1, num_levels)
+        self.num_levels = int(num_levels)
+        self.lo: np.ndarray | None = None
+        self.hi: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "ScalarQuantizer":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        dim = x.shape[1]
+        self.lo = x.min(axis=0)
+        self.hi = x.max(axis=0)
+        span = np.maximum(self.hi - self.lo, 1e-12)
+        # Codebook: grid midpoints per dimension -> (D, L, 1).
+        steps = (np.arange(self.num_levels) + 0.5) / self.num_levels
+        grid = self.lo[:, None] + span[:, None] * steps[None, :]
+        self.num_chunks = dim
+        self.codebook = Codebook(grid[:, :, None])
+        return self
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Direct arithmetic encoding (no nearest-codeword search)."""
+        book = self._require_fitted()
+        assert self.lo is not None and self.hi is not None
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        span = np.maximum(self.hi - self.lo, 1e-12)
+        idx = np.floor((x - self.lo) / span * self.num_levels)
+        idx = np.clip(idx, 0, self.num_levels - 1)
+        return idx.astype(book.code_dtype)
+
+    def code_bytes_per_vector(self) -> int:
+        book = self._require_fitted()
+        return int(book.num_chunks * book.code_dtype.itemsize)

@@ -1,0 +1,213 @@
+"""Unit and property tests for the autodiff tensor engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, concatenate, stack
+
+from .helpers import gradcheck
+
+RNG = np.random.default_rng(0)
+
+
+def finite_floats(shape):
+    return arrays(
+        np.float64,
+        shape,
+        elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestBasics:
+    def test_construction_defaults(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert not t.requires_grad
+        assert t.grad is None
+
+    def test_numpy_returns_copy(self):
+        t = Tensor([1.0, 2.0])
+        out = t.numpy()
+        out[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_detach_breaks_tape(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        c = (b * 3.0).sum()
+        c.backward()
+        assert a.grad is None
+
+    def test_backward_requires_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward()
+
+    def test_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4))])
+
+    def test_add_broadcast(self):
+        gradcheck(lambda ts: (ts[0] + ts[1]).sum(), [RNG.normal(size=(3, 4)), RNG.normal(size=(4,))])
+
+    def test_sub(self):
+        gradcheck(lambda ts: (ts[0] - ts[1]).sum(), [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))])
+
+    def test_rsub_scalar(self):
+        gradcheck(lambda ts: (1.0 - ts[0]).sum(), [RNG.normal(size=(5,))])
+
+    def test_mul(self):
+        gradcheck(lambda ts: (ts[0] * ts[1]).sum(), [RNG.normal(size=(3,)), RNG.normal(size=(3,))])
+
+    def test_mul_broadcast_scalar(self):
+        gradcheck(lambda ts: (ts[0] * 2.5).sum(), [RNG.normal(size=(3, 2))])
+
+    def test_div(self):
+        denom = RNG.normal(size=(4,)) + 5.0
+        gradcheck(lambda ts: (ts[0] / ts[1]).sum(), [RNG.normal(size=(4,)), denom])
+
+    def test_rdiv(self):
+        denom = RNG.normal(size=(4,)) + 5.0
+        gradcheck(lambda ts: (2.0 / ts[0]).sum(), [denom])
+
+    def test_neg(self):
+        gradcheck(lambda ts: (-ts[0]).sum(), [RNG.normal(size=(3,))])
+
+    def test_pow(self):
+        base = np.abs(RNG.normal(size=(4,))) + 0.5
+        gradcheck(lambda ts: (ts[0] ** 3.0).sum(), [base])
+
+    def test_pow_requires_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([2.0])
+
+    def test_matmul_2d(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [RNG.normal(size=(3, 4)), RNG.normal(size=(4, 2))])
+
+    def test_matmul_vec_mat(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [RNG.normal(size=(4,)), RNG.normal(size=(4, 2))])
+
+    def test_matmul_mat_vec(self):
+        gradcheck(lambda ts: (ts[0] @ ts[1]).sum(), [RNG.normal(size=(3, 4)), RNG.normal(size=(4,))])
+
+    def test_matmul_vec_vec(self):
+        gradcheck(lambda ts: ts[0] @ ts[1], [RNG.normal(size=(4,)), RNG.normal(size=(4,))])
+
+    def test_gradient_accumulation_reuse(self):
+        # The same tensor used twice must receive the sum of both paths.
+        a = Tensor([2.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        gradcheck(lambda ts: (ts[0].reshape(6) * np.arange(6.0)).sum(), [RNG.normal(size=(2, 3))])
+
+    def test_transpose(self):
+        gradcheck(lambda ts: (ts[0].T @ ts[0]).sum(), [RNG.normal(size=(3, 2))])
+
+    def test_transpose_axes(self):
+        w = RNG.normal(size=(2, 3, 4))
+        gradcheck(lambda ts: (ts[0].transpose((2, 0, 1)) * 1.5).sum(), [w])
+
+    def test_getitem_rows(self):
+        idx = np.array([0, 2, 2])
+        gradcheck(lambda ts: (ts[0][idx] * 2.0).sum(), [RNG.normal(size=(4, 3))])
+
+    def test_stack(self):
+        gradcheck(
+            lambda ts: (stack([ts[0], ts[1]], axis=0) * 3.0).sum(),
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))],
+        )
+
+    def test_concatenate(self):
+        gradcheck(
+            lambda ts: (concatenate([ts[0], ts[1]], axis=1) * 2.0).sum(),
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 2))],
+        )
+
+
+class TestReductionsAndElementwise:
+    def test_sum_axis(self):
+        gradcheck(lambda ts: (ts[0].sum(axis=0) * np.arange(3.0)).sum(), [RNG.normal(size=(4, 3))])
+
+    def test_sum_keepdims(self):
+        gradcheck(lambda ts: (ts[0].sum(axis=1, keepdims=True) * 2.0).sum(), [RNG.normal(size=(4, 3))])
+
+    def test_mean(self):
+        gradcheck(lambda ts: ts[0].mean(), [RNG.normal(size=(4, 3))])
+
+    def test_mean_axis(self):
+        gradcheck(lambda ts: (ts[0].mean(axis=1) ** 2.0).sum(), [RNG.normal(size=(4, 3))])
+
+    def test_exp(self):
+        gradcheck(lambda ts: ts[0].exp().sum(), [RNG.normal(size=(3,))])
+
+    def test_log(self):
+        gradcheck(lambda ts: ts[0].log().sum(), [np.abs(RNG.normal(size=(3,))) + 0.5])
+
+    def test_sqrt(self):
+        gradcheck(lambda ts: ts[0].sqrt().sum(), [np.abs(RNG.normal(size=(3,))) + 0.5])
+
+    def test_relu(self):
+        x = RNG.normal(size=(10,))
+        x[np.abs(x) < 1e-3] = 0.5  # avoid the kink
+        gradcheck(lambda ts: ts[0].relu().sum(), [x])
+
+    def test_tanh(self):
+        gradcheck(lambda ts: ts[0].tanh().sum(), [RNG.normal(size=(5,))])
+
+    def test_maximum(self):
+        a = RNG.normal(size=(6,))
+        b = RNG.normal(size=(6,))
+        mask = np.abs(a - b) < 1e-3
+        a[mask] += 0.5  # keep away from ties
+        gradcheck(lambda ts: ts[0].maximum(ts[1]).sum(), [a, b])
+
+    def test_max_axis(self):
+        x = RNG.normal(size=(4, 5))
+        gradcheck(lambda ts: ts[0].max(axis=1).sum(), [x])
+
+    def test_max_global(self):
+        x = np.array([1.0, 7.0, 3.0])
+        t = Tensor(x, requires_grad=True)
+        out = t.max()
+        out.backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(finite_floats(array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4)))
+def test_property_add_mul_grads(x):
+    """d/dx sum(x*x + 3x) = 2x + 3 for arbitrary shapes."""
+    t = Tensor(x, requires_grad=True)
+    loss = (t * t + t * 3.0).sum()
+    loss.backward()
+    np.testing.assert_allclose(t.grad, 2.0 * x + 3.0, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(finite_floats((3, 3)))
+def test_property_linear_chain(x):
+    """Gradient of sum(exp(x) * 0) is 0 and of sum(x) is 1."""
+    t = Tensor(x, requires_grad=True)
+    (t.sum() * 1.0).backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(x))

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.dataset == "sift"
+        assert args.graph == "hnsw"
+        assert args.scenario == "memory"
+
+    def test_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--graph", "delaunay"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sift", "deep", "gist", "ukbench", "bigann"):
+            assert name in out
+
+    def test_profiles_with_lid(self, capsys):
+        assert main(["profiles", "--measure-lid", "--n-base", "400"]) == 0
+        assert "measured LID" in capsys.readouterr().out
+
+    def test_demo_memory(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset", "ukbench",
+                "--n-base", "300",
+                "--n-queries", "6",
+                "--chunks", "4",
+                "--codewords", "8",
+                "--epochs", "1",
+                "--beam", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RPQ" in out and "PQ" in out
+
+    def test_demo_hybrid(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset", "ukbench",
+                "--scenario", "hybrid",
+                "--graph", "vamana",
+                "--n-base", "300",
+                "--n-queries", "6",
+                "--chunks", "4",
+                "--codewords", "8",
+                "--epochs", "1",
+                "--beam", "16",
+            ]
+        )
+        assert code == 0
+        assert "hybrid scenario" in capsys.readouterr().out
+
+    def test_experiment_fig4(self, capsys):
+        code = main(
+            ["experiment", "fig4", "--dataset", "ukbench", "--n-base", "400"]
+        )
+        assert code == 0
+        assert "imbalance" in capsys.readouterr().out

@@ -1,0 +1,223 @@
+"""Tests for the feature extractor (Alg. 1 / Alg. 2) and the losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import (
+    DifferentiableQuantizer,
+    JointLoss,
+    RoutingRecord,
+    Triplet,
+    decision_accuracy,
+    neighborhood_loss,
+    routing_loss,
+    sample_routing_records,
+    sample_triplets,
+)
+from repro.graphs import build_vamana
+
+RNG = np.random.default_rng(41)
+
+
+def make_setup(n=200, d=8, m=2, k=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=5.0, size=(6, d))
+    x = centers[rng.integers(6, size=n)] + 0.4 * rng.normal(size=(n, d))
+    graph = build_vamana(x, r=8, search_l=20, seed=seed)
+    quant = DifferentiableQuantizer(d, m, k, seed=seed)
+    quant.warm_start(x)
+    return x, graph, quant
+
+
+class TestTripletSampling:
+    def test_counts_and_structure(self):
+        x, graph, _ = make_setup()
+        triplets = sample_triplets(
+            graph, x, num_triplets=50, n_hops=2, k_pos=5, k_neg=10,
+            rng=np.random.default_rng(0),
+        )
+        assert len(triplets) == 50
+        for t in triplets:
+            assert t.anchor != t.positive
+            assert t.positive != t.negative
+
+    def test_positive_closer_than_negative(self):
+        x, graph, _ = make_setup()
+        triplets = sample_triplets(
+            graph, x, num_triplets=80, n_hops=2, k_pos=3, k_neg=10,
+            rng=np.random.default_rng(1),
+        )
+        # Positives are drawn from a strictly nearer band than negatives
+        # (per anchor), so on average d(a, p) < d(a, n).
+        d_pos = np.mean([
+            ((x[t.anchor] - x[t.positive]) ** 2).sum() for t in triplets
+        ])
+        d_neg = np.mean([
+            ((x[t.anchor] - x[t.negative]) ** 2).sum() for t in triplets
+        ])
+        assert d_pos < d_neg
+
+    def test_positive_in_top_kpos_of_neighborhood(self):
+        x, graph, _ = make_setup()
+        k_pos = 4
+        triplets = sample_triplets(
+            graph, x, num_triplets=30, n_hops=2, k_pos=k_pos, k_neg=8,
+            rng=np.random.default_rng(2),
+        )
+        for t in triplets:
+            hood = graph.n_hop_neighborhood(t.anchor, 2)
+            d = ((x[hood] - x[t.anchor]) ** 2).sum(axis=1)
+            top = set(hood[np.argsort(d)][:k_pos].tolist())
+            assert t.positive in top
+
+    def test_parameter_validation(self):
+        x, graph, _ = make_setup(n=50)
+        with pytest.raises(ValueError):
+            sample_triplets(graph, x, num_triplets=0)
+        with pytest.raises(ValueError):
+            sample_triplets(graph, x, num_triplets=5, k_pos=0)
+
+
+class TestRoutingRecords:
+    def test_records_are_supervised(self):
+        x, graph, quant = make_setup()
+        queries = [x[i] + 0.05 for i in range(5)]
+        records = sample_routing_records(
+            graph,
+            x,
+            rotation=quant.rotation_matrix(),
+            codebook=quant.codebook_numpy(),
+            codes=quant.encode_hard(x),
+            queries=queries,
+            beam_width=8,
+        )
+        assert records, "expected at least one routing decision"
+        for r in records:
+            assert 0 <= r.oracle < len(r.candidates)
+            assert r.chosen == 0  # closest unvisited candidate is expanded
+            # Oracle really is the true-distance argmin.
+            true_d = ((x[r.candidates] - r.query) ** 2).sum(axis=1)
+            assert r.oracle == int(true_d.argmin())
+
+    def test_max_records_per_query(self):
+        x, graph, quant = make_setup()
+        records = sample_routing_records(
+            graph,
+            x,
+            rotation=quant.rotation_matrix(),
+            codebook=quant.codebook_numpy(),
+            codes=quant.encode_hard(x),
+            queries=[x[0]],
+            beam_width=8,
+            max_records_per_query=3,
+            rng=np.random.default_rng(0),
+        )
+        assert len(records) <= 3
+
+    def test_decision_accuracy_bounds(self):
+        x, graph, quant = make_setup()
+        records = sample_routing_records(
+            graph,
+            x,
+            rotation=quant.rotation_matrix(),
+            codebook=quant.codebook_numpy(),
+            codes=quant.encode_hard(x),
+            queries=[x[i] for i in range(4)],
+            beam_width=8,
+        )
+        acc = decision_accuracy(records)
+        assert 0.0 <= acc <= 1.0
+        assert decision_accuracy([]) == 1.0
+
+
+class TestLosses:
+    def test_neighborhood_loss_nonnegative_and_differentiable(self):
+        x, graph, quant = make_setup()
+        triplets = sample_triplets(
+            graph, x, num_triplets=16, rng=np.random.default_rng(3)
+        )
+        loss = neighborhood_loss(quant, x, triplets, use_gumbel=False)
+        assert loss.item() >= 0.0
+        loss.backward()
+        assert quant.rotation.params.grad is not None
+
+    def test_neighborhood_loss_zero_when_margin_satisfied(self):
+        # Anchor == positive reconstruction, distant negative, margin 0.
+        x, graph, quant = make_setup()
+        triplets = [Triplet(anchor=0, positive=0, negative=50)]
+        loss = neighborhood_loss(quant, x, triplets, margin=0.0, use_gumbel=False)
+        assert loss.item() <= 1e-9
+
+    def test_routing_loss_decreases_for_better_model(self):
+        x, graph, quant = make_setup()
+        record = RoutingRecord(
+            query=x[0],
+            candidates=np.array([0, 50, 100]),
+            chosen=0,
+            oracle=0,
+        )
+        loss = routing_loss(quant, x, [record], use_gumbel=False)
+        assert loss.item() >= 0.0
+        # With huge tau the softmax flattens: NLL -> log(3).
+        loss_high_tau = routing_loss(quant, x, [record], tau=1e6, use_gumbel=False)
+        assert abs(loss_high_tau.item() - np.log(3)) < 0.05
+
+    def test_loss_validation(self):
+        x, graph, quant = make_setup()
+        with pytest.raises(ValueError):
+            neighborhood_loss(quant, x, [])
+        with pytest.raises(ValueError):
+            routing_loss(quant, x, [])
+        record = RoutingRecord(x[0], np.array([0, 1]), 0, 0)
+        with pytest.raises(ValueError):
+            routing_loss(quant, x, [record], tau=0.0)
+
+    def test_routing_loss_gradient_reaches_codebooks(self):
+        x, graph, quant = make_setup()
+        record = RoutingRecord(
+            query=x[0], candidates=np.array([1, 2, 3]), chosen=0, oracle=1
+        )
+        loss = routing_loss(quant, x, [record], use_gumbel=False)
+        loss.backward()
+        assert any(b.grad is not None for b in quant.codebooks)
+
+
+class TestJointLoss:
+    def test_requires_at_least_one_component(self):
+        with pytest.raises(ValueError):
+            JointLoss(use_neighborhood=False, use_routing=False)
+
+    def test_single_component_passthrough(self):
+        j = JointLoss(use_neighborhood=True, use_routing=False)
+        ln = Tensor(np.array(2.0))
+        assert j.combine(None, ln).item() == 2.0
+        j2 = JointLoss(use_neighborhood=False, use_routing=True)
+        lr = Tensor(np.array(3.0))
+        assert j2.combine(lr, None).item() == 3.0
+
+    def test_missing_component_raises(self):
+        j = JointLoss()
+        with pytest.raises(ValueError):
+            j.combine(None, Tensor(np.array(1.0)))
+        with pytest.raises(ValueError):
+            j.combine(Tensor(np.array(1.0)), None)
+
+    def test_alpha_starts_at_one_and_adapts(self):
+        j = JointLoss()
+        assert j.alpha == pytest.approx(1.0)
+        assert len(j.parameters()) == 2
+
+    def test_combined_loss_backward_updates_log_vars(self):
+        j = JointLoss()
+        lr = Tensor(np.array(2.0))
+        ln = Tensor(np.array(0.5))
+        out = j.combine(lr, ln)
+        out.backward()
+        assert j.log_var_routing.grad is not None
+        assert j.log_var_neighborhood.grad is not None
+        # d/ds [exp(-s) L + s] = 1 - exp(-s) L; at s=0: 1 - L.
+        np.testing.assert_allclose(j.log_var_routing.grad, [1.0 - 2.0])
+        np.testing.assert_allclose(j.log_var_neighborhood.grad, [1.0 - 0.5])

@@ -1,0 +1,198 @@
+"""Tests for the in-memory and hybrid indexes and the L2R baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import compute_ground_truth, load
+from repro.graphs import build_vamana
+from repro.index import (
+    DiskIndex,
+    L2RIndex,
+    LearnedRoutingReweighter,
+    MemoryIndex,
+    SimulatedSSD,
+    SSDConfig,
+)
+from repro.metrics import recall_at_k
+from repro.quantization import ProductQuantizer
+
+RNG = np.random.default_rng(71)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = load("sift", n_base=600, n_queries=15, seed=0)
+    graph = build_vamana(data.base, r=12, search_l=30, seed=0)
+    quantizer = ProductQuantizer(8, 32, seed=0).fit(data.train)
+    gt = compute_ground_truth(data.base, data.queries, k=10)
+    return data, graph, quantizer, gt
+
+
+class TestSimulatedSSD:
+    def test_read_accounting(self):
+        x = RNG.normal(size=(20, 4)).astype(np.float32)
+        adj = [np.array([(i + 1) % 20]) for i in range(20)]
+        ssd = SimulatedSSD(x, adj, SSDConfig(read_latency_us=50.0))
+        vec, neighbors = ssd.read_vertex(3)
+        np.testing.assert_allclose(vec, x[3])
+        np.testing.assert_array_equal(neighbors, [4])
+        assert ssd.page_reads == 1
+        assert ssd.simulated_io_us == 50.0
+
+    def test_batch_parallelism(self):
+        x = RNG.normal(size=(20, 4)).astype(np.float32)
+        adj = [np.array([0]) for _ in range(20)]
+        cfg = SSDConfig(read_latency_us=100.0, queue_parallelism=4)
+        ssd = SimulatedSSD(x, adj, cfg)
+        ssd.read_batch(np.arange(8))
+        # 8 reads at parallelism 4 -> 2 waves.
+        assert ssd.simulated_io_us == 200.0
+        assert ssd.page_reads == 8
+
+    def test_empty_batch(self):
+        x = RNG.normal(size=(5, 3)).astype(np.float32)
+        ssd = SimulatedSSD(x, [np.array([0])] * 5)
+        vecs, adjs = ssd.read_batch(np.array([], dtype=np.int64))
+        assert vecs.shape == (0, 3)
+        assert ssd.page_reads == 0
+
+    def test_reset(self):
+        x = RNG.normal(size=(5, 3)).astype(np.float32)
+        ssd = SimulatedSSD(x, [np.array([0])] * 5)
+        ssd.read_vertex(0)
+        ssd.reset_counters()
+        assert ssd.page_reads == 0
+        assert ssd.simulated_io_us == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedSSD(np.zeros(5), [np.array([0])])
+        with pytest.raises(ValueError):
+            SimulatedSSD(np.zeros((5, 2)), [np.array([0])] * 3)
+
+    def test_stored_bytes_page_rounded(self):
+        x = RNG.normal(size=(5, 3)).astype(np.float32)
+        ssd = SimulatedSSD(x, [np.array([0])] * 5, SSDConfig(page_bytes=4096))
+        assert ssd.stored_bytes() % 4096 == 0
+
+
+class TestMemoryIndex:
+    def test_search_returns_k(self, setup):
+        data, graph, quantizer, gt = setup
+        index = MemoryIndex(graph, quantizer, data.base)
+        res = index.search(data.queries[0], k=10, beam_width=32)
+        assert res.ids.shape == (10,)
+        assert res.hops > 0
+
+    def test_recall_improves_with_beam(self, setup):
+        data, graph, quantizer, gt = setup
+        index = MemoryIndex(graph, quantizer, data.base)
+
+        def run(beam):
+            ids = [index.search(q, k=10, beam_width=beam).ids for q in data.queries]
+            return recall_at_k(ids, gt.ids)
+
+        assert run(64) >= run(10) - 0.05
+
+    def test_validation(self, setup):
+        data, graph, quantizer, gt = setup
+        with pytest.raises(ValueError):
+            MemoryIndex(graph, quantizer, data.base[:-5])
+        with pytest.raises(ValueError):
+            MemoryIndex(graph, ProductQuantizer(4, 8), data.base)
+        index = MemoryIndex(graph, quantizer, data.base)
+        with pytest.raises(ValueError):
+            index.search(data.queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(data.queries[0], k=20, beam_width=10)
+
+    def test_memory_accounting(self, setup):
+        data, graph, quantizer, gt = setup
+        index = MemoryIndex(graph, quantizer, data.base)
+        assert index.memory_bytes() < index.full_precision_bytes()
+        assert index.compression_ratio() > 1.0
+
+
+class TestDiskIndex:
+    def test_search_returns_exact_reranked(self, setup):
+        data, graph, quantizer, gt = setup
+        index = DiskIndex(graph, quantizer, data.base)
+        res = index.search(data.queries[0], k=10, beam_width=32)
+        assert res.ids.shape == (10,)
+        # Distances are exact: recompute and compare.
+        expected = ((data.base[res.ids] - data.queries[0]) ** 2).sum(axis=1)
+        np.testing.assert_allclose(res.distances, expected, rtol=1e-5)
+        assert (np.diff(res.distances) >= -1e-9).all()
+
+    def test_io_counters_track_hops(self, setup):
+        data, graph, quantizer, gt = setup
+        index = DiskIndex(graph, quantizer, data.base)
+        res = index.search(data.queries[1], k=10, beam_width=32)
+        assert res.page_reads == res.hops
+        assert res.io_rounds <= res.hops
+        assert res.simulated_io_us > 0
+
+    def test_hybrid_recall_beats_memory_at_same_beam(self, setup):
+        # Rerank with exact distances must dominate code-only ranking.
+        data, graph, quantizer, gt = setup
+        mem = MemoryIndex(graph, quantizer, data.base)
+        disk = DiskIndex(graph, quantizer, data.base)
+        beam = 32
+        mem_ids = [mem.search(q, k=10, beam_width=beam).ids for q in data.queries]
+        disk_ids = [disk.search(q, k=10, beam_width=beam).ids for q in data.queries]
+        assert recall_at_k(disk_ids, gt.ids) >= recall_at_k(mem_ids, gt.ids)
+
+    def test_hybrid_reaches_high_recall(self, setup):
+        data, graph, quantizer, gt = setup
+        disk = DiskIndex(graph, quantizer, data.base)
+        ids = [disk.search(q, k=10, beam_width=64).ids for q in data.queries]
+        assert recall_at_k(ids, gt.ids) > 0.9
+
+    def test_memory_fraction_is_small(self, setup):
+        data, graph, quantizer, gt = setup
+        disk = DiskIndex(graph, quantizer, data.base)
+        # Codes + codebook should be a small fraction of the SSD payload
+        # (the paper's f = 1/32 regime directionally).
+        assert disk.memory_fraction() < 0.6
+
+    def test_validation(self, setup):
+        data, graph, quantizer, gt = setup
+        with pytest.raises(ValueError):
+            DiskIndex(graph, quantizer, data.base, io_width=0)
+        index = DiskIndex(graph, quantizer, data.base)
+        with pytest.raises(ValueError):
+            index.search(data.queries[0], k=0)
+
+
+class TestL2R:
+    def test_reweighter_improves_distance_fit(self, setup):
+        data, graph, quantizer, gt = setup
+        rew = LearnedRoutingReweighter.fit(
+            quantizer, data.base, rng=np.random.default_rng(0)
+        )
+        assert rew.weights.shape == (8,)
+        assert (rew.weights >= 0).all()
+
+    def test_reweighter_validation(self):
+        with pytest.raises(ValueError):
+            LearnedRoutingReweighter(np.array([-1.0, 2.0]))
+
+    def test_l2r_index_searches(self, setup):
+        data, graph, quantizer, gt = setup
+        index = L2RIndex(
+            graph, quantizer, data.base, rng=np.random.default_rng(0)
+        )
+        res = index.search(data.queries[0], k=10, beam_width=32)
+        assert res.ids.shape == (10,)
+        ids = [index.search(q, k=10, beam_width=48).ids for q in data.queries]
+        assert recall_at_k(ids, gt.ids) > 0.3
+
+    def test_l2r_search_validation(self, setup):
+        data, graph, quantizer, gt = setup
+        index = L2RIndex(graph, quantizer, data.base, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            index.search(data.queries[0], k=0)
+        with pytest.raises(ValueError):
+            index.search(data.queries[0], k=20, beam_width=10)

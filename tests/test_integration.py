@@ -1,0 +1,117 @@
+"""End-to-end integration tests: train -> freeze -> index -> search.
+
+These exercise the full paper pipeline on a small dataset and assert
+the headline *qualitative* claims:
+
+1. RPQ's quantized search reaches recall at least on par with vanilla
+   PQ at equal beam width (in-memory scenario);
+2. the hybrid (rerank) scenario reaches near-exact recall;
+3. RPQ's learned rotation balances dimension variance (Fig. 4's effect).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RPQ, RPQTrainingConfig, chunk_balance_score, dimension_value_profile
+from repro.datasets import compute_ground_truth, load
+from repro.graphs import build_hnsw, build_nsg, build_vamana
+from repro.index import DiskIndex, MemoryIndex
+from repro.metrics import recall_at_k
+from repro.quantization import ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = load("sift", n_base=800, n_queries=20, seed=1)
+    graph = build_vamana(data.base, r=12, search_l=30, seed=1)
+    gt = compute_ground_truth(data.base, data.queries, k=10)
+    config = RPQTrainingConfig(
+        epochs=4,
+        batch_triplets=48,
+        batch_records=10,
+        num_triplets=256,
+        num_queries=10,
+        records_per_query=6,
+        beam_width=8,
+        refresh_routing_every=2,
+        seed=1,
+    )
+    rpq = RPQ(num_chunks=8, num_codewords=32, config=config, seed=1)
+    rpq.fit(data.base, graph, training_sample=data.train)
+    pq = ProductQuantizer(8, 32, seed=1).fit(data.train)
+    return data, graph, gt, rpq, pq
+
+
+def batch_recall(index, queries, gt, beam):
+    ids = [index.search(q, k=10, beam_width=beam).ids for q in queries]
+    return recall_at_k(ids, gt.ids)
+
+
+class TestEndToEnd:
+    def test_rpq_not_worse_than_pq_in_memory(self, trained):
+        data, graph, gt, rpq, pq = trained
+        mem_rpq = MemoryIndex(graph, rpq.quantizer, data.base)
+        mem_pq = MemoryIndex(graph, pq, data.base)
+        r_rpq = batch_recall(mem_rpq, data.queries, gt, beam=32)
+        r_pq = batch_recall(mem_pq, data.queries, gt, beam=32)
+        # The paper's claim is r_rpq > r_pq; at this scale we assert
+        # no-regression with slack for training noise.
+        assert r_rpq >= r_pq - 0.05
+
+    def test_hybrid_reaches_high_recall(self, trained):
+        data, graph, gt, rpq, pq = trained
+        disk = DiskIndex(graph, rpq.quantizer, data.base)
+        assert batch_recall(disk, data.queries, gt, beam=64) >= 0.9
+
+    def test_rotation_balances_dimensions(self, trained):
+        data, graph, gt, rpq, pq = trained
+        before = chunk_balance_score(dimension_value_profile(data.base, 8))
+        rotated = data.base @ rpq.quantizer.rotation.T
+        after = chunk_balance_score(dimension_value_profile(rotated, 8))
+        assert after <= before
+
+    def test_quantizer_is_reusable_across_indexes(self, trained):
+        data, graph, gt, rpq, pq = trained
+        mem = MemoryIndex(graph, rpq.quantizer, data.base)
+        disk = DiskIndex(graph, rpq.quantizer, data.base)
+        q = data.queries[0]
+        res_m = mem.search(q, k=5, beam_width=24)
+        res_d = disk.search(q, k=5, beam_width=24)
+        assert len(res_m.ids) == 5 and len(res_d.ids) == 5
+
+    def test_training_report_recorded(self, trained):
+        _, _, _, rpq, _ = trained
+        report = rpq.report
+        assert report is not None
+        assert len(report.losses) == 4
+        assert report.wall_time_seconds > 0
+
+
+class TestAcrossGraphKinds:
+    @pytest.mark.parametrize("builder", [build_hnsw, build_nsg, build_vamana])
+    def test_rpq_trains_on_every_graph(self, builder):
+        data = load("ukbench", n_base=300, n_queries=8, seed=2)
+        if builder is build_hnsw:
+            graph = builder(data.base, m=8, ef_construction=32, seed=2)
+        elif builder is build_nsg:
+            graph = builder(data.base, knn_k=12, r=12, search_l=24)
+        else:
+            graph = builder(data.base, r=12, search_l=24, seed=2)
+        config = RPQTrainingConfig(
+            epochs=2,
+            num_triplets=64,
+            num_queries=4,
+            records_per_query=4,
+            batch_triplets=32,
+            batch_records=6,
+            beam_width=6,
+            seed=2,
+        )
+        rpq = RPQ(num_chunks=4, num_codewords=16, config=config, seed=2)
+        rpq.fit(data.base, graph)
+        gt = compute_ground_truth(data.base, data.queries, k=10)
+        index = MemoryIndex(graph, rpq.quantizer, data.base)
+        recall = batch_recall(index, data.queries, gt, beam=32)
+        assert recall > 0.3

@@ -1,0 +1,126 @@
+"""Tests for the k-means clustering primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quantization import assign_to_centroids, kmeans, kmeans_plus_plus_init
+
+RNG = np.random.default_rng(7)
+
+
+def three_blobs(n_per: int = 50, d: int = 4, spread: float = 0.05):
+    centers = np.array(
+        [[5.0] * d, [-5.0] * d, [5.0] * (d // 2) + [-5.0] * (d - d // 2)]
+    )
+    points = np.concatenate(
+        [c + spread * RNG.normal(size=(n_per, d)) for c in centers]
+    )
+    return points, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        x, centers = three_blobs()
+        result = kmeans(x, 3, rng=np.random.default_rng(0))
+        # Each true center should be close to some learned centroid.
+        for c in centers:
+            d = ((result.centroids - c) ** 2).sum(axis=1).min()
+            assert d < 0.1
+
+    def test_inertia_decreases_with_k(self):
+        x, _ = three_blobs()
+        inertias = [
+            kmeans(x, k, rng=np.random.default_rng(0)).inertia for k in (1, 2, 3, 6)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_assignments_are_nearest(self):
+        x, _ = three_blobs()
+        result = kmeans(x, 4, rng=np.random.default_rng(1))
+        assigned, _ = assign_to_centroids(x, result.centroids)
+        np.testing.assert_array_equal(assigned, result.assignments)
+
+    def test_k_equals_one(self):
+        x = RNG.normal(size=(30, 3))
+        result = kmeans(x, 1, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(result.centroids[0], x.mean(axis=0), atol=1e-9)
+
+    def test_k_greater_than_n(self):
+        x = RNG.normal(size=(4, 3))
+        result = kmeans(x, 10, rng=np.random.default_rng(0))
+        assert result.centroids.shape == (10, 3)
+        assert result.inertia < 1e-12  # every point has a private centroid
+
+    def test_explicit_init(self):
+        x, centers = three_blobs()
+        result = kmeans(x, 3, init=centers, rng=np.random.default_rng(0))
+        assert result.inertia < 10.0
+
+    def test_init_shape_validation(self):
+        x = RNG.normal(size=(20, 3))
+        with pytest.raises(ValueError):
+            kmeans(x, 3, init=np.zeros((2, 3)))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 3)), 0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+    def test_duplicate_points(self):
+        x = np.ones((50, 4))
+        result = kmeans(x, 3, rng=np.random.default_rng(0))
+        assert np.isfinite(result.centroids).all()
+        assert result.inertia < 1e-12
+
+    def test_empty_cluster_repair(self):
+        # Two tight groups, ask for 4 clusters: at least one initial
+        # centroid likely goes empty and must be re-seeded.
+        x = np.concatenate([np.zeros((40, 2)), np.ones((40, 2)) * 10])
+        result = kmeans(x, 4, rng=np.random.default_rng(3))
+        assert np.isfinite(result.centroids).all()
+
+    def test_kmeanspp_spreads_centroids(self):
+        x, centers = three_blobs()
+        init = kmeans_plus_plus_init(x, 3, np.random.default_rng(0))
+        # Initial picks should land near distinct blobs.
+        owners = {int(((centers - c) ** 2).sum(axis=1).argmin()) for c in init}
+        assert len(owners) == 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(8, 40), st.integers(2, 5)),
+        elements=st.floats(-10, 10, allow_nan=False),
+    ),
+    st.integers(1, 5),
+)
+def test_property_inertia_nonnegative_and_assignment_valid(x, k):
+    result = kmeans(x, k, rng=np.random.default_rng(0), max_iter=5)
+    assert result.inertia >= 0.0
+    assert result.assignments.min() >= 0
+    assert result.assignments.max() < k
+    assert result.centroids.shape == (k, x.shape[1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(10, 30), st.integers(2, 4)),
+        elements=st.floats(-5, 5, allow_nan=False),
+    )
+)
+def test_property_more_iterations_never_hurt(x):
+    short = kmeans(x, 3, max_iter=1, rng=np.random.default_rng(0))
+    long = kmeans(x, 3, max_iter=20, rng=np.random.default_rng(0))
+    assert long.inertia <= short.inertia + 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the scalar (SQ8) and residual (RQ) quantizer baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import (
+    ProductQuantizer,
+    ResidualQuantizer,
+    ScalarQuantizer,
+)
+
+RNG = np.random.default_rng(101)
+
+
+def clustered(n=400, d=12, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(6, d))
+    return centers[rng.integers(6, size=n)] + 0.3 * rng.normal(size=(n, d))
+
+
+class TestScalarQuantizer:
+    def test_encode_decode_shapes(self):
+        x = clustered()
+        sq = ScalarQuantizer().fit(x)
+        codes = sq.encode(x[:10])
+        assert codes.shape == (10, 12)
+        assert codes.dtype == np.uint8
+        assert sq.decode(codes).shape == (10, 12)
+        assert sq.code_bytes_per_vector() == 12
+
+    def test_reconstruction_error_bounded_by_grid(self):
+        x = clustered()
+        sq = ScalarQuantizer(num_levels=256).fit(x)
+        recon = sq.decode(sq.encode(x))
+        span = x.max(axis=0) - x.min(axis=0)
+        cell = span / 256
+        # Every coordinate lands in its own cell: error <= half a cell.
+        assert (np.abs(recon - x) <= cell / 2 + 1e-9).all()
+
+    def test_more_levels_less_error(self):
+        x = clustered()
+        coarse = ScalarQuantizer(num_levels=8).fit(x)
+        fine = ScalarQuantizer(num_levels=128).fit(x)
+        assert fine.quantization_error(x) < coarse.quantization_error(x)
+
+    def test_out_of_range_values_clip(self):
+        x = clustered()
+        sq = ScalarQuantizer().fit(x)
+        extreme = x[:1] * 100
+        codes = sq.encode(extreme)
+        assert codes.min() >= 0
+        assert codes.max() <= 255
+
+    def test_lookup_table_matches_reconstruction_distance(self):
+        x = clustered(d=6)
+        sq = ScalarQuantizer(num_levels=32).fit(x)
+        q = RNG.normal(size=6)
+        codes = sq.encode(x[:30])
+        est = sq.lookup_table(q).distance(codes)
+        recon = sq.decode(codes)
+        np.testing.assert_allclose(
+            est, ((recon - q) ** 2).sum(axis=1), atol=1e-9
+        )
+
+    def test_constant_dimension(self):
+        x = np.ones((50, 4))
+        sq = ScalarQuantizer().fit(x)
+        recon = sq.decode(sq.encode(x))
+        np.testing.assert_allclose(recon, x, atol=1e-6)
+
+
+class TestResidualQuantizer:
+    def test_shapes(self):
+        x = clustered()
+        rq = ResidualQuantizer(num_levels=3, num_codewords=16, seed=0).fit(x)
+        codes = rq.encode(x[:7])
+        assert codes.shape == (7, 3)
+        assert rq.decode(codes).shape == (7, 12)
+
+    def test_more_levels_reduce_error(self):
+        x = clustered(n=600)
+        errs = [
+            ResidualQuantizer(num_levels=l, num_codewords=16, seed=0)
+            .fit(x)
+            .quantization_error(x)
+            for l in (1, 2, 4)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_rq_beats_pq_at_same_bytes_on_correlated_data(self):
+        # Classic result: additive codebooks capture global structure
+        # that chunked codebooks miss when dimensions are correlated.
+        rng = np.random.default_rng(5)
+        latent = rng.normal(size=(600, 2))
+        mixing = rng.normal(size=(2, 12))
+        x = latent @ mixing + 0.05 * rng.normal(size=(600, 12))
+        rq = ResidualQuantizer(num_levels=4, num_codewords=16, seed=0).fit(x)
+        pq = ProductQuantizer(4, 16, seed=0).fit(x)
+        assert rq.quantization_error(x) < pq.quantization_error(x)
+
+    def test_decode_validation(self):
+        x = clustered()
+        rq = ResidualQuantizer(num_levels=3, num_codewords=8, seed=0).fit(x)
+        with pytest.raises(ValueError):
+            rq.decode(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_lookup_table_ranking_correlates(self):
+        x = clustered(n=500)
+        rq = ResidualQuantizer(num_levels=3, num_codewords=16, seed=0).fit(x)
+        q = x[0] + 0.1
+        codes = rq.encode(x)
+        est = rq.lookup_table(q).distance(codes)
+        true_d = ((x - q) ** 2).sum(axis=1)
+        assert np.corrcoef(est, true_d)[0, 1] > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ResidualQuantizer().encode(np.zeros((2, 4)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 64))
+def test_property_scalar_levels_monotone(levels):
+    x = clustered(n=150, d=5, seed=7)
+    sq = ScalarQuantizer(num_levels=levels).fit(x)
+    finer = ScalarQuantizer(num_levels=levels * 2).fit(x)
+    assert finer.quantization_error(x) <= sq.quantization_error(x) + 1e-9
