@@ -1,0 +1,23 @@
+# Developer entry points.  `make test` is the tier-1 verification
+# command (see ROADMAP.md); the others are convenience wrappers.
+
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-batch bench-batch demo
+
+# Tier-1: the full test suite, stop on first failure.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Just the batched-engine tests (parity, edge cases, table build).
+test-batch:
+	$(PYTHON) -m pytest -x -q tests/test_batch_parity.py \
+		tests/test_batch_edge_cases.py tests/test_batch_lookup.py
+
+# Single-vs-batch QPS on memory + hybrid scenarios (>= 3x gate).
+bench-batch:
+	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py -q
+
+demo:
+	$(PYTHON) -m repro.cli demo --batch-size 64

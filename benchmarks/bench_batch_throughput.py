@@ -1,0 +1,78 @@
+"""Batched query engine — single-query loop vs ``search_batch``.
+
+Measures wall-clock QPS of the per-query search loop against the
+batched engine at several batch sizes, for both the in-memory and the
+SSD-hybrid scenario on the synthetic SIFT profile.  Batch results are
+bitwise identical to the per-query loop (asserted here via recall), so
+the whole difference is engine overhead: one broadcasted ADC-table
+build per batch plus the lockstep beam kernel's amortized
+neighbor-gather.
+
+Expected shape: the in-memory speedup at batch 64 is >= 3x (the
+acceptance bar for the batched engine); the hybrid scenario gains less
+because its per-query SSD reads are kept sequential to preserve the
+paper's I/O accounting.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.harness import run_batch_throughput
+
+from common import NUM_CHUNKS, NUM_CODEWORDS, fmt, save_report
+
+BATCH_SIZES = (1, 8, 16, 64)
+N_BASE = 2000
+N_QUERIES = 64
+
+
+def run():
+    return {
+        scenario: run_batch_throughput(
+            scenario,
+            "sift",
+            batch_sizes=BATCH_SIZES,
+            n_base=N_BASE,
+            n_queries=N_QUERIES,
+            num_chunks=NUM_CHUNKS,
+            num_codewords=NUM_CODEWORDS,
+            seed=0,
+        )
+        for scenario in ("memory", "hybrid")
+    }
+
+
+def test_batch_throughput(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for scenario, points in out.items():
+        rows = [
+            [
+                p.batch_size,
+                fmt(p.single_qps, 1),
+                fmt(p.batch_qps, 1),
+                f"{p.speedup:.2f}x",
+                fmt(p.recall_batch, 3),
+            ]
+            for p in points
+        ]
+        blocks.append(
+            format_table(
+                ["batch", "single QPS", "batch QPS", "speedup", "recall@10"],
+                rows,
+                title=f"Batched engine throughput ({scenario}, sift, n={N_BASE})",
+            )
+        )
+    save_report("batch_throughput", "\n\n".join(blocks))
+
+    for scenario, points in out.items():
+        for p in points:
+            # Bitwise-identical engine: recall must match exactly.
+            assert p.recall_batch == p.recall_single, (scenario, p.batch_size)
+    biggest = out["memory"][-1]
+    assert biggest.batch_size == max(BATCH_SIZES)
+    assert biggest.speedup >= 3.0, (
+        f"in-memory batch={biggest.batch_size} speedup {biggest.speedup:.2f}x "
+        "fell below the 3x acceptance bar"
+    )

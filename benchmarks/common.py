@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from typing import Dict, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -23,6 +24,7 @@ NUM_CHUNKS = 8
 NUM_CODEWORDS = 32
 BEAMS = (10, 16, 24, 32, 48)
 DATASETS = ("bigann", "deep", "sift", "gist", "ukbench")
+BATCH_SIZE = 64
 
 
 def save_report(name: str, text: str) -> None:
@@ -41,6 +43,40 @@ def fmt(value: float, digits: int = 1) -> str:
     if isinstance(value, float) and math.isnan(value):
         return "-"
     return f"{value:.{digits}f}"
+
+
+def batch_speedup_guard(
+    index,
+    queries,
+    k: int = 10,
+    beam_width: int = 32,
+    batch_size: int = BATCH_SIZE,
+) -> float:
+    """Micro-benchmark guard: print single-vs-batch QPS, return speedup.
+
+    Any benchmark can call this on its index to keep the batched
+    engine's advantage visible (and catch regressions where the batch
+    path silently degrades to per-query speed).
+    """
+    from repro.eval.sweep import run_queries_batched
+
+    n = len(queries)
+    start = time.perf_counter()
+    for q in queries:
+        index.search(q, k=k, beam_width=beam_width)
+    single_s = time.perf_counter() - start
+    run_queries_batched(index, queries, k, beam_width, batch_size)  # warm
+    start = time.perf_counter()
+    run_queries_batched(index, queries, k, beam_width, batch_size)
+    batch_s = time.perf_counter() - start
+    single_qps = n / max(single_s, 1e-12)
+    batch_qps = n / max(batch_s, 1e-12)
+    speedup = batch_qps / max(single_qps, 1e-12)
+    print(
+        f"[batch guard] single {single_qps:.1f} QPS vs "
+        f"batch({batch_size}) {batch_qps:.1f} QPS -> {speedup:.2f}x"
+    )
+    return speedup
 
 
 def curve_rows(curves: Dict[str, list]) -> List[list]:

@@ -5,9 +5,11 @@ Commands
 ``profiles``
     List the synthetic dataset profiles and their calibration targets.
 ``demo``
-    Train RPQ on a profile, build an index, and print recall vs PQ.
+    Train RPQ on a profile, build an index, and print recall vs PQ
+    (``--batch-size N`` answers queries through the batched engine).
 ``experiment``
-    Run one of the paper-artifact drivers (table2, fig4) and print it.
+    Run one of the paper-artifact drivers (table2, fig4, batch) and
+    print it.
 """
 
 from __future__ import annotations
@@ -75,19 +77,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             index = MemoryIndex(graph, quantizer, data.base)
         else:
             index = DiskIndex(graph, quantizer, data.base)
-        results = [
-            index.search(q, k=10, beam_width=args.beam) for q in data.queries
-        ]
+        if args.batch_size > 1:
+            from .eval.sweep import run_queries_batched
+
+            results = run_queries_batched(
+                index, data.queries, 10, args.beam, args.batch_size
+            )
+        else:
+            results = [
+                index.search(q, k=10, beam_width=args.beam)
+                for q in data.queries
+            ]
         recall = recall_at_k([r.ids for r in results], gt.ids)
         hops = float(np.mean([r.hops for r in results]))
         rows.append([name, round(recall, 3), round(hops, 1)])
+    engine = (
+        f"batched (batch={args.batch_size})"
+        if args.batch_size > 1
+        else "per-query"
+    )
     print(
         format_table(
             ["method", "recall@10", "hops"],
             rows,
             title=(
                 f"{args.dataset}-like, n={args.n_base}, {args.graph}, "
-                f"{args.scenario} scenario, beam {args.beam}"
+                f"{args.scenario} scenario, beam {args.beam}, {engine}"
             ),
         )
     )
@@ -96,8 +111,34 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .eval import format_table
-    from .eval.harness import run_fig4, run_table2
+    from .eval.harness import run_batch_throughput, run_fig4, run_table2
 
+    if args.name == "batch":
+        points = run_batch_throughput(
+            dataset_name=args.dataset,
+            n_base=args.n_base,
+            n_queries=max(args.n_queries, args.batch_size),
+            batch_sizes=sorted({1, 8, args.batch_size}),
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.batch_size,
+                round(p.single_qps, 1),
+                round(p.batch_qps, 1),
+                f"{p.speedup:.2f}x",
+                round(p.recall_batch, 3),
+            ]
+            for p in points
+        ]
+        print(
+            format_table(
+                ["batch size", "single QPS", "batch QPS", "speedup", "recall@10"],
+                rows,
+                title=f"Batched engine throughput ({args.dataset})",
+            )
+        )
+        return 0
     if args.name == "table2":
         out = run_table2(n_base=args.n_base, n_queries=args.n_queries,
                          seed=args.seed)
@@ -125,6 +166,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -149,14 +199,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--beam", type=int, default=32)
     p_demo.add_argument("--epochs", type=int, default=4)
     p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=1,
+        help="answer queries through search_batch in chunks of this size",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
-    p_exp.add_argument("name", choices=("table2", "fig4"))
+    p_exp.add_argument("name", choices=("table2", "fig4", "batch"))
     p_exp.add_argument("--dataset", default="sift")
     p_exp.add_argument("--n-base", type=int, default=800)
     p_exp.add_argument("--n-queries", type=int, default=20)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=64,
+        help="largest batch size for the 'batch' experiment",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
     return parser
 

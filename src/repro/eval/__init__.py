@@ -6,11 +6,19 @@
 * :func:`format_table`, :func:`format_grid` — output formatting.
 """
 
-from .sweep import DEFAULT_BEAMS, OperatingPoint, max_recall, metric_at_recall, sweep_beam
+from .sweep import (
+    DEFAULT_BEAMS,
+    OperatingPoint,
+    max_recall,
+    metric_at_recall,
+    run_queries_batched,
+    sweep_beam,
+)
 from .tables import format_grid, format_table
 
 __all__ = [
     "sweep_beam",
+    "run_queries_batched",
     "OperatingPoint",
     "metric_at_recall",
     "max_recall",

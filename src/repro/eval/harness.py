@@ -187,6 +187,7 @@ def make_index(
                 quantizer,
                 x,
                 table_transform=reweighter.reweight,
+                table_transform_batch=reweighter.reweight_batch,
             )
         return DiskIndex(prepared.graph, quantizer, x)
     raise KeyError(f"unknown scenario {scenario!r}")
@@ -319,8 +320,14 @@ def run_curves(
     num_codewords: int = 32,
     beam_widths: Sequence[int] = (10, 16, 24, 32, 48, 64),
     seed: int = 0,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, List[OperatingPoint]]:
-    """Sweep every method on one prepared dataset (one Fig. 5/6/7 cell)."""
+    """Sweep every method on one prepared dataset (one Fig. 5/6/7 cell).
+
+    With ``batch_size`` set, the sweeps answer queries through the
+    batched engine; recall is unchanged (batch results are bitwise
+    identical) while QPS reflects batched throughput.
+    """
     curves: Dict[str, List[OperatingPoint]] = {}
     for method in methods:
         quant_name = "pq" if method == "l2r" else method
@@ -334,8 +341,95 @@ def run_curves(
             prepared.ground_truth,
             k=prepared.k,
             beam_widths=beam_widths,
+            batch_size=batch_size,
         )
     return curves
+
+
+# ----------------------------------------------------------------------
+# Batched-engine throughput (single-query loop vs search_batch)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchThroughputPoint:
+    """Single-vs-batched QPS at one batch size."""
+
+    batch_size: int
+    single_qps: float
+    batch_qps: float
+    recall_single: float
+    recall_batch: float
+
+    @property
+    def speedup(self) -> float:
+        return self.batch_qps / max(self.single_qps, 1e-12)
+
+
+def run_batch_throughput(
+    scenario: str = "memory",
+    dataset_name: str = "sift",
+    batch_sizes: Sequence[int] = (1, 8, 64),
+    n_base: int = 2000,
+    n_queries: int = 64,
+    num_chunks: int = 8,
+    num_codewords: int = 32,
+    beam_width: int = 32,
+    k: int = 10,
+    quantizer_name: str = "pq",
+    graph_kind: str = "vamana",
+    seed: int = 0,
+) -> List[BatchThroughputPoint]:
+    """Measure the batched engine's speedup over the per-query loop.
+
+    For each batch size, answers the same query set through the
+    single-query loop and through ``search_batch`` chunks, returning
+    wall-clock QPS for both plus recall on each path (equal by
+    construction — the batch engine is bitwise identical per query).
+    """
+    from .sweep import run_queries_batched
+
+    prepared = prepare(
+        dataset_name,
+        graph_kind,
+        n_base=n_base,
+        n_queries=n_queries,
+        k=k,
+        seed=seed,
+    )
+    quantizer = make_quantizer(
+        quantizer_name, prepared, num_chunks, num_codewords, seed=seed
+    )
+    index = make_index(scenario, prepared, quantizer, seed=seed)
+    queries = prepared.dataset.queries
+    gt = prepared.ground_truth
+
+    single = [index.search(q, k=k, beam_width=beam_width) for q in queries]
+    start = time.perf_counter()
+    for q in queries:
+        index.search(q, k=k, beam_width=beam_width)
+    single_seconds = time.perf_counter() - start
+    single_qps = len(queries) / max(single_seconds, 1e-12)
+    recall_single = recall_at_k([r.ids for r in single], gt.ids)
+
+    points: List[BatchThroughputPoint] = []
+    for batch_size in batch_sizes:
+        results = run_queries_batched(
+            index, queries, k, beam_width, batch_size
+        )
+        start = time.perf_counter()
+        run_queries_batched(index, queries, k, beam_width, batch_size)
+        batch_seconds = time.perf_counter() - start
+        points.append(
+            BatchThroughputPoint(
+                batch_size=int(batch_size),
+                single_qps=single_qps,
+                batch_qps=len(queries) / max(batch_seconds, 1e-12),
+                recall_single=recall_single,
+                recall_batch=recall_at_k([r.ids for r in results], gt.ids),
+            )
+        )
+    return points
 
 
 # ----------------------------------------------------------------------
@@ -547,12 +641,14 @@ def run_scalability(
     num_chunks: int = 8,
     num_codewords: int = 32,
     seed: int = 0,
+    batch_size: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
     """QPS at matched recall, PQ vs RPQ, across dataset sizes.
 
     The paper's 1M -> 1B ladder becomes a geometric ladder at laptop
     scale; the claim under test is that RPQ's relative advantage
-    persists as n grows."""
+    persists as n grows.  ``batch_size`` switches the sweeps to the
+    batched engine (same recall, higher QPS)."""
     graph_kind = "vamana" if scenario == "hybrid" else "hnsw"
     out: Dict[int, Dict[str, float]] = {}
     for size in sizes:
@@ -567,6 +663,7 @@ def run_scalability(
             num_codewords,
             beam_widths=(10, 16, 24, 32, 48),
             seed=seed,
+            batch_size=batch_size,
         )
         # With two methods the median anchor is the stronger ceiling;
         # a slightly lower fraction keeps the target reachable for RPQ

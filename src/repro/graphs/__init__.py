@@ -5,16 +5,21 @@
 * :func:`build_vamana` — DiskANN's graph [36]; :func:`robust_prune`.
 * :func:`beam_search` — the routing loop (paper Alg. 2);
   :class:`SearchResult`, :class:`BeamStep`.
+* :func:`beam_search_batch` — the lockstep multi-query routing kernel;
+  :class:`BatchSearchResult`.
 * :class:`ProximityGraph` — shared container (paper Def. 2).
 * :func:`exact_knn` — blocked brute-force kNN.
 """
 
 from .base import ProximityGraph, medoid
 from .beam import (
+    BatchDistanceFn,
+    BatchSearchResult,
     BeamStep,
     DistanceFn,
     SearchResult,
     beam_search,
+    beam_search_batch,
     exact_distance_fn,
     greedy_search,
 )
@@ -27,11 +32,14 @@ __all__ = [
     "ProximityGraph",
     "medoid",
     "beam_search",
+    "beam_search_batch",
     "greedy_search",
     "exact_distance_fn",
     "BeamStep",
     "SearchResult",
+    "BatchSearchResult",
     "DistanceFn",
+    "BatchDistanceFn",
     "HNSW",
     "build_hnsw",
     "build_nsg",

@@ -13,7 +13,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from .beam import DistanceFn, SearchResult, beam_search
+from .beam import (
+    BatchDistanceFn,
+    BatchSearchResult,
+    DistanceFn,
+    SearchResult,
+    beam_search,
+    beam_search_batch,
+)
 
 
 @dataclass
@@ -111,6 +118,38 @@ class ProximityGraph:
             beam_width,
             k=k,
             record_trace=record_trace,
+        )
+
+    def search_batch(
+        self,
+        dist_fn: BatchDistanceFn,
+        beam_width: int,
+        num_queries: int,
+        k: Optional[int] = None,
+        entries: Optional[np.ndarray] = None,
+    ) -> BatchSearchResult:
+        """Lockstep beam-search routing for ``num_queries`` queries.
+
+        ``dist_fn`` scores paired ``(query_idx, vertex_ids)`` arrays;
+        every query starts at ``entry_point`` unless per-query
+        ``entries`` are given.  Row ``b`` of the result is bitwise
+        identical to :meth:`search` with the matching scalar callback.
+        """
+        if entries is None:
+            entries = np.full(num_queries, self.entry_point, dtype=np.int64)
+        else:
+            entries = np.asarray(entries, dtype=np.int64).reshape(-1)
+            if entries.shape[0] != num_queries:
+                raise ValueError(
+                    f"got {entries.shape[0]} entries for "
+                    f"{num_queries} queries"
+                )
+        return beam_search_batch(
+            self.adjacency,
+            entries,
+            dist_fn,
+            beam_width,
+            k=k,
         )
 
     def n_hop_neighborhood(self, vertex: int, hops: int) -> np.ndarray:

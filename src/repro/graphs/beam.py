@@ -24,6 +24,14 @@ import numpy as np
 DistanceFn = Callable[[np.ndarray], np.ndarray]
 """Maps an array of vertex ids to estimated distances to the query."""
 
+BatchDistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+"""Maps paired ``(query_idx, vertex_ids)`` arrays to estimated distances.
+
+``out[p]`` is the estimated distance between query ``query_idx[p]`` and
+vertex ``vertex_ids[p]`` — one fancy-indexed call scores a whole
+expansion round of the lockstep kernel.
+"""
+
 
 @dataclass
 class BeamStep:
@@ -162,6 +170,211 @@ def beam_search(
     if k is not None:
         result = result.top_k(k)
     return result
+
+
+@dataclass
+class BatchSearchResult:
+    """Outcome of one lockstep multi-query beam search.
+
+    ``ids`` / ``distances`` are stacked ``(B, W)`` arrays; row ``b``'s
+    first ``counts[b]`` entries are valid, the remainder padded with
+    ``-1`` / ``inf``.  The per-query counters mirror
+    :class:`SearchResult`; :meth:`total_hops` and friends aggregate
+    them for throughput reporting.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    distance_computations: np.ndarray
+    visited_counts: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    def row(self, i: int) -> SearchResult:
+        """Query ``i``'s result as a scalar :class:`SearchResult`."""
+        c = int(self.counts[i])
+        return SearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            distance_computations=int(self.distance_computations[i]),
+            visited_count=int(self.visited_counts[i]),
+        )
+
+    def top_k(self, k: int) -> "BatchSearchResult":
+        """Restrict every row to its first ``k`` entries."""
+        return BatchSearchResult(
+            ids=self.ids[:, :k],
+            distances=self.distances[:, :k],
+            counts=np.minimum(self.counts, k),
+            hops=self.hops,
+            distance_computations=self.distance_computations,
+            visited_counts=self.visited_counts,
+        )
+
+
+def _empty_batch_result(width: int) -> BatchSearchResult:
+    return BatchSearchResult(
+        ids=np.empty((0, width), dtype=np.int64),
+        distances=np.empty((0, width), dtype=np.float64),
+        counts=np.empty(0, dtype=np.int64),
+        hops=np.empty(0, dtype=np.int64),
+        distance_computations=np.empty(0, dtype=np.int64),
+        visited_counts=np.empty(0, dtype=np.int64),
+    )
+
+
+def beam_search_batch(
+    adjacency: Sequence[np.ndarray],
+    entries: np.ndarray,
+    dist_fn: BatchDistanceFn,
+    beam_width: int,
+    k: Optional[int] = None,
+) -> BatchSearchResult:
+    """Lockstep beam search for a whole query batch.
+
+    Runs the exact per-query loop of :func:`beam_search` for ``B``
+    queries simultaneously: each round expands every still-active
+    query's closest unvisited candidate, gathers all their neighbors
+    with one concatenation, scores every fresh (query, vertex) pair in
+    a single ``dist_fn`` call, and re-ranks all touched candidate rows
+    with one stable ``argsort`` over a shared padded buffer.  The
+    visited/seen sets live in two shared ``(B, n)`` bit-buffers
+    allocated once per call.
+
+    Per query, the trajectory — and therefore the returned ids,
+    distances, and counters — is bitwise identical to calling
+    :func:`beam_search` with the matching scalar distance callback:
+    both paths insert fresh candidates in adjacency order and re-rank
+    with the same stable sort, so ties break identically.
+
+    Parameters
+    ----------
+    adjacency:
+        Per-vertex neighbor id arrays.
+    entries:
+        ``(B,)`` entry vertex per query (HNSW's upper-layer descent
+        yields per-query entries; flat graphs pass a constant).
+    dist_fn:
+        Paired ``(query_idx, vertex_ids) -> distances`` callback.
+    beam_width, k:
+        As in :func:`beam_search`.
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    n = len(adjacency)
+    entries = np.asarray(entries, dtype=np.int64).reshape(-1)
+    b = entries.shape[0]
+    out_w = beam_width if k is None else min(k, beam_width)
+    if b == 0:
+        return _empty_batch_result(out_w)
+    if n == 0 or entries.min() < 0 or entries.max() >= n:
+        raise ValueError(f"entry vertices out of range [0, {n})")
+
+    max_degree = max((len(nbrs) for nbrs in adjacency), default=0)
+    cap = beam_width + max(max_degree, 1)
+    col = np.arange(cap)
+
+    # Shared per-batch workspaces (one allocation for all B queries).
+    visited = np.zeros((b, n), dtype=bool)
+    seen = np.zeros((b, n), dtype=bool)
+    cand_ids = np.zeros((b, cap), dtype=np.int64)
+    cand_d = np.full((b, cap), np.inf, dtype=np.float64)
+    counts = np.ones(b, dtype=np.int64)
+    hops = np.zeros(b, dtype=np.int64)
+    dist_comps = np.ones(b, dtype=np.int64)
+    active = np.ones(b, dtype=bool)
+
+    qidx = np.arange(b, dtype=np.int64)
+    cand_ids[:, 0] = entries
+    cand_d[:, 0] = np.asarray(dist_fn(qidx, entries), dtype=np.float64)
+    seen[qidx, entries] = True
+
+    while active.any():
+        act = np.flatnonzero(active)
+        sub_ids = cand_ids[act]
+        valid = col[None, :] < counts[act][:, None]
+        unvisited = valid & ~visited[act[:, None], sub_ids]
+        has_work = unvisited.any(axis=1)
+        active[act[~has_work]] = False
+        if not has_work.any():
+            break
+        rows = act[has_work]
+        pos = unvisited[has_work].argmax(axis=1)
+        v_star = sub_ids[has_work, pos]
+        visited[rows, v_star] = True
+        hops[rows] += 1
+
+        nbr_lists = [
+            np.asarray(adjacency[int(v)], dtype=np.int64) for v in v_star
+        ]
+        lens = np.array([nbrs.size for nbrs in nbr_lists], dtype=np.int64)
+        if not lens.any():
+            continue
+        flat_nbrs = np.concatenate(nbr_lists).astype(np.int64, copy=False)
+        flat_q = np.repeat(rows, lens)
+        fresh_mask = ~seen[flat_q, flat_nbrs]
+        fq = flat_q[fresh_mask]
+        fv = flat_nbrs[fresh_mask]
+        if not fq.size:
+            continue
+        seen[fq, fv] = True
+        fd = np.asarray(dist_fn(fq, fv), dtype=np.float64)
+        dist_comps += np.bincount(fq, minlength=b)
+
+        # Append each query's fresh candidates after its current tail,
+        # preserving adjacency order (ties then break as in the scalar
+        # loop's list.extend).
+        within = np.arange(fq.size) - np.searchsorted(fq, fq, side="left")
+        dest = counts[fq] + within
+        cand_ids[fq, dest] = fv
+        cand_d[fq, dest] = fd
+        counts += np.bincount(fq, minlength=b)
+
+        # Re-rank and truncate only the rows that gained candidates.
+        touched = np.unique(fq)
+        sub_d = cand_d[touched]
+        order = np.argsort(sub_d, axis=1, kind="stable")
+        cand_d[touched] = np.take_along_axis(sub_d, order, axis=1)
+        cand_ids[touched] = np.take_along_axis(
+            cand_ids[touched], order, axis=1
+        )
+        new_counts = np.minimum(counts[touched], beam_width)
+        counts[touched] = new_counts
+        dropped = col[None, :] >= new_counts[:, None]
+        sub_d = cand_d[touched]
+        sub_i = cand_ids[touched]
+        sub_d[dropped] = np.inf
+        sub_i[dropped] = 0
+        cand_d[touched] = sub_d
+        cand_ids[touched] = sub_i
+
+    take = np.minimum(counts, out_w)
+    keep = col[None, :out_w] < take[:, None]
+    ids_out = np.full((b, out_w), -1, dtype=np.int64)
+    dists_out = np.full((b, out_w), np.inf, dtype=np.float64)
+    ids_out[keep] = cand_ids[:, :out_w][keep]
+    dists_out[keep] = cand_d[:, :out_w][keep]
+    return BatchSearchResult(
+        ids=ids_out,
+        distances=dists_out,
+        counts=take,
+        hops=hops,
+        distance_computations=dist_comps,
+        visited_counts=hops.copy(),
+    )
 
 
 def greedy_search(

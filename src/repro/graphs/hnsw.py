@@ -20,7 +20,15 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .base import ProximityGraph
-from .beam import DistanceFn, SearchResult, beam_search, greedy_search
+from .beam import (
+    BatchDistanceFn,
+    BatchSearchResult,
+    DistanceFn,
+    SearchResult,
+    beam_search,
+    beam_search_batch,
+    greedy_search,
+)
 
 
 def _sqdist(a: np.ndarray, b: np.ndarray) -> float:
@@ -82,6 +90,56 @@ class HNSW(ProximityGraph):
             k=k,
             record_trace=record_trace,
         )
+
+    def search_batch(
+        self,
+        dist_fn: "BatchDistanceFn",
+        beam_width: int,
+        num_queries: int,
+        k: Optional[int] = None,
+        entries: Optional[np.ndarray] = None,
+    ) -> "BatchSearchResult":
+        """Per-query upper-layer descent, then one lockstep base beam.
+
+        The descent re-uses the scalar :func:`greedy_search` (upper
+        layers are tiny), handing :func:`beam_search_batch` a per-query
+        entry array; each row therefore matches :meth:`search` bitwise.
+        """
+        if entries is None:
+            entries = np.full(num_queries, self.entry_point, dtype=np.int64)
+        else:
+            entries = np.asarray(entries, dtype=np.int64).reshape(-1)
+            if entries.shape[0] != num_queries:
+                raise ValueError(
+                    f"got {entries.shape[0]} entries for "
+                    f"{num_queries} queries"
+                )
+        starts = np.empty(num_queries, dtype=np.int64)
+        for qi in range(num_queries):
+            start = int(entries[qi])
+            per_query = _per_query_fn(dist_fn, qi)
+            for layer in reversed(self.upper_layers):
+                adjacency = _LayerView(layer, self.num_vertices)
+                start = greedy_search(adjacency, start, per_query)
+            starts[qi] = start
+        return beam_search_batch(
+            self.adjacency,
+            starts,
+            dist_fn,
+            beam_width,
+            k=k,
+        )
+
+
+def _per_query_fn(dist_fn: "BatchDistanceFn", qi: int) -> DistanceFn:
+    """Bind a paired batch callback to one query index."""
+
+    def fn(vertex_ids: np.ndarray) -> np.ndarray:
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        qidx = np.full(vertex_ids.shape[0], qi, dtype=np.int64)
+        return dist_fn(qidx, vertex_ids)
+
+    return fn
 
 
 class _LayerView:

@@ -4,28 +4,52 @@
 * :class:`DiskIndex` — DiskANN-style: codes in memory, vectors + graph
   on a :class:`SimulatedSSD`, exact rerank from fetched pages.
 * :class:`L2RIndex` — learning-to-route ablation baseline.
-* :class:`FreshVamanaIndex` — streaming inserts/deletes (Fresh-DiskANN).
-* :class:`FilteredMemoryIndex` — label-filtered search (Filter-DiskANN).
+* :class:`FreshVamanaIndex` — streaming inserts/deletes (Fresh-DiskANN);
+  aliased as :class:`StreamingIndex`.
+* :class:`FilteredMemoryIndex` — label-filtered search (Filter-DiskANN);
+  aliased as :class:`FilteredIndex`.
+
+Every index exposes both ``search(query, k, beam_width)`` and the
+batched ``search_batch(queries, k, beam_width)`` (filtered search adds
+a ``labels`` argument); batch results stack per-query ids/distances
+into ``(B, k)`` arrays and carry per-query plus aggregated counters.
 """
 
-from .disk_index import DiskIndex, DiskSearchResult
-from .filtered import FilteredMemoryIndex, FilteredSearchResult
+from .disk_index import DiskBatchResult, DiskIndex, DiskSearchResult
+from .filtered import (
+    FilteredBatchResult,
+    FilteredMemoryIndex,
+    FilteredSearchResult,
+)
 from .l2r import L2RIndex, LearnedRoutingReweighter
-from .memory_index import MemoryIndex, MemorySearchResult
+from .memory_index import MemoryBatchResult, MemoryIndex, MemorySearchResult
 from .ssd import SimulatedSSD, SSDConfig
-from .streaming import FreshVamanaIndex, StreamingSearchResult
+from .streaming import (
+    FreshVamanaIndex,
+    StreamingBatchResult,
+    StreamingSearchResult,
+)
+
+StreamingIndex = FreshVamanaIndex
+FilteredIndex = FilteredMemoryIndex
 
 __all__ = [
     "MemoryIndex",
     "MemorySearchResult",
+    "MemoryBatchResult",
     "DiskIndex",
     "DiskSearchResult",
+    "DiskBatchResult",
     "L2RIndex",
     "LearnedRoutingReweighter",
     "SimulatedSSD",
     "SSDConfig",
     "FreshVamanaIndex",
+    "StreamingIndex",
     "StreamingSearchResult",
+    "StreamingBatchResult",
     "FilteredMemoryIndex",
+    "FilteredIndex",
     "FilteredSearchResult",
+    "FilteredBatchResult",
 ]

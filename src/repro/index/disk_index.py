@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..graphs.base import ProximityGraph
+from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
 from .ssd import SimulatedSSD, SSDConfig
 
@@ -31,6 +32,58 @@ class DiskSearchResult:
     page_reads: int
     simulated_io_us: float
     distance_computations: int
+
+
+@dataclass
+class DiskBatchResult:
+    """Result of one hybrid query batch.
+
+    Stacked ``(B, k)`` ids and exact reranked distances (padded ``-1``
+    / ``inf`` past each row's ``counts``), plus per-query hop / I/O /
+    distance-computation counters and ``total_*`` aggregates.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    io_rounds: np.ndarray
+    page_reads: np.ndarray
+    simulated_io_us: np.ndarray
+    distance_computations: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    @property
+    def total_page_reads(self) -> int:
+        return int(self.page_reads.sum())
+
+    @property
+    def total_simulated_io_us(self) -> float:
+        return float(self.simulated_io_us.sum())
+
+    def row(self, i: int) -> DiskSearchResult:
+        """Query ``i``'s result in the single-query format."""
+        c = int(self.counts[i])
+        return DiskSearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            io_rounds=int(self.io_rounds[i]),
+            page_reads=int(self.page_reads[i]),
+            simulated_io_us=float(self.simulated_io_us[i]),
+            distance_computations=int(self.distance_computations[i]),
+        )
 
 
 class DiskIndex:
@@ -54,6 +107,10 @@ class DiskIndex:
         Optional hook applied to each query's ADC lookup table before
         routing (used by the learning-to-route ablation to reweight
         distances without touching the quantizer).
+    table_transform_batch:
+        Optional batched counterpart taking/returning a
+        :class:`BatchLookupTable`; when absent, ``search_batch`` falls
+        back to applying ``table_transform`` per query row.
     """
 
     def __init__(
@@ -64,6 +121,7 @@ class DiskIndex:
         ssd_config: Optional[SSDConfig] = None,
         io_width: int = 4,
         table_transform: Optional[Callable] = None,
+        table_transform_batch: Optional[Callable] = None,
     ) -> None:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if graph.num_vertices != x.shape[0]:
@@ -80,6 +138,7 @@ class DiskIndex:
         self.ssd = SimulatedSSD(x, graph.adjacency, ssd_config)
         self.io_width = int(io_width)
         self.table_transform = table_transform
+        self.table_transform_batch = table_transform_batch
         self.dim = x.shape[1]
 
     # ------------------------------------------------------------------
@@ -127,12 +186,13 @@ class DiskIndex:
             io_rounds += 1
             batch = np.array(frontier, dtype=np.int64)
             vectors, adjacencies = self.ssd.read_batch(batch)
+            diff = vectors.astype(np.float64) - query
+            exact_round = np.einsum("ij,ij->i", diff, diff)
             for pos, v in enumerate(frontier):
                 expanded[v] = True
                 hops += 1
-                diff = vectors[pos].astype(np.float64) - query
                 exact_ids.append(v)
-                exact_d.append(float(diff @ diff))
+                exact_d.append(float(exact_round[pos]))
                 dist_comps += 1
 
                 neighbors = adjacencies[pos]
@@ -158,6 +218,206 @@ class DiskIndex:
             io_rounds=io_rounds,
             page_reads=self.ssd.page_reads,
             simulated_io_us=self.ssd.simulated_io_us,
+            distance_computations=dist_comps,
+        )
+
+    # ------------------------------------------------------------------
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> DiskBatchResult:
+        """Batched DiskANN beam search + exact rerank.
+
+        Lockstep version of :meth:`search`: every round selects each
+        active query's ``io_width`` closest unexpanded candidates,
+        issues one SSD read per query (so the per-query I/O accounting
+        matches the scalar path exactly), then scores all fetched
+        vectors with one ``einsum`` and all fresh neighbors with one
+        ADC gather across the whole batch.  Row ``b`` of the result —
+        ids, exact distances, and every counter — is bitwise identical
+        to :meth:`search` on ``queries[b]``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        b = queries.shape[0]
+        if b == 0:
+            return DiskBatchResult(
+                ids=np.empty((0, k), dtype=np.int64),
+                distances=np.empty((0, k), dtype=np.float64),
+                counts=np.empty(0, dtype=np.int64),
+                hops=np.empty(0, dtype=np.int64),
+                io_rounds=np.empty(0, dtype=np.int64),
+                page_reads=np.empty(0, dtype=np.int64),
+                simulated_io_us=np.empty(0, dtype=np.float64),
+                distance_computations=np.empty(0, dtype=np.int64),
+            )
+        tables = self.quantizer.lookup_table_batch(queries)
+        if self.table_transform_batch is not None:
+            tables = self.table_transform_batch(tables)
+        elif self.table_transform is not None:
+            tables = BatchLookupTable(
+                tables=np.stack(
+                    [
+                        self.table_transform(tables.table_for(i)).table
+                        for i in range(b)
+                    ]
+                )
+            )
+        codes = self.codes
+        self.ssd.reset_counters()
+
+        entry = self.graph.entry_point
+        n = self.graph.num_vertices
+        max_degree = max(
+            (nbrs.size for nbrs in self.graph.adjacency), default=0
+        )
+        cap = beam_width + self.io_width * max(max_degree, 1)
+        col = np.arange(cap)
+
+        seen = np.zeros((b, n), dtype=bool)
+        expanded = np.zeros((b, n), dtype=bool)
+        cand_ids = np.zeros((b, cap), dtype=np.int64)
+        cand_d = np.full((b, cap), np.inf, dtype=np.float64)
+        counts = np.ones(b, dtype=np.int64)
+        hops = np.zeros(b, dtype=np.int64)
+        io_rounds = np.zeros(b, dtype=np.int64)
+        page_reads = np.zeros(b, dtype=np.int64)
+        io_us = np.zeros(b, dtype=np.float64)
+        dist_comps = np.ones(b, dtype=np.int64)
+        active = np.ones(b, dtype=bool)
+
+        qidx = np.arange(b, dtype=np.int64)
+        cand_ids[:, 0] = entry
+        cand_d[:, 0] = tables.pair_distance(
+            qidx, codes[np.full(b, entry, dtype=np.int64)]
+        )
+        seen[:, entry] = True
+
+        exact_ids: list = [[] for _ in range(b)]
+        exact_d: list = [[] for _ in range(b)]
+
+        while active.any():
+            act = np.flatnonzero(active)
+            sub_ids = cand_ids[act]
+            valid = col[None, :] < counts[act][:, None]
+            unexpanded = valid & ~expanded[act[:, None], sub_ids]
+            # First io_width unexpanded candidates per row, in ranking
+            # order — exactly the scalar path's frontier.
+            sel = unexpanded & (
+                np.cumsum(unexpanded, axis=1) <= self.io_width
+            )
+            has_work = sel.any(axis=1)
+            active[act[~has_work]] = False
+            if not has_work.any():
+                break
+            rows_local = np.flatnonzero(has_work)
+            rows = act[rows_local]
+
+            # One SSD read per query so waves / page counts match the
+            # per-query cost model; vectors are then scored jointly.
+            frontier_rows: list = []
+            vec_parts: list = []
+            row_parts: list = []
+            for rl, r in zip(rows_local, rows):
+                fverts = sub_ids[rl][sel[rl]]
+                io_rounds[r] += 1
+                reads_before = self.ssd.page_reads
+                io_before = self.ssd.simulated_io_us
+                vectors, adjacencies = self.ssd.read_batch(fverts)
+                page_reads[r] += self.ssd.page_reads - reads_before
+                io_us[r] += self.ssd.simulated_io_us - io_before
+                frontier_rows.append((int(r), fverts, adjacencies))
+                vec_parts.append(vectors)
+                row_parts.append(np.full(fverts.size, r, dtype=np.int64))
+            fr = np.concatenate(row_parts)
+            fverts_flat = np.concatenate(
+                [fv for _, fv, _ in frontier_rows]
+            )
+            expanded[fr, fverts_flat] = True
+            round_hops = np.bincount(fr, minlength=b)
+            hops += round_hops
+            dist_comps += round_hops
+
+            diff = np.vstack(vec_parts).astype(np.float64) - queries[fr]
+            exact_round = np.einsum("ij,ij->i", diff, diff)
+            offset = 0
+            for r, fverts, _ in frontier_rows:
+                exact_ids[r].append(fverts.astype(np.int64, copy=False))
+                exact_d[r].append(exact_round[offset : offset + fverts.size])
+                offset += fverts.size
+
+            # Freshness is sequential within a query's frontier (later
+            # members see earlier members' neighbors as seen), matching
+            # the scalar loop; the ADC scoring is then batched.
+            fq_parts: list = []
+            fv_parts: list = []
+            for r, _, adjacencies in frontier_rows:
+                for neighbors in adjacencies:
+                    if not neighbors.size:
+                        continue
+                    fresh = neighbors[~seen[r, neighbors]]
+                    if fresh.size:
+                        seen[r, fresh] = True
+                        fq_parts.append(
+                            np.full(fresh.size, r, dtype=np.int64)
+                        )
+                        fv_parts.append(fresh)
+            if fq_parts:
+                fq = np.concatenate(fq_parts)
+                fvn = np.concatenate(fv_parts)
+                fresh_d = tables.pair_distance(fq, codes[fvn])
+                dist_comps += np.bincount(fq, minlength=b)
+                within = np.arange(fq.size) - np.searchsorted(
+                    fq, fq, side="left"
+                )
+                dest = counts[fq] + within
+                cand_ids[fq, dest] = fvn
+                cand_d[fq, dest] = fresh_d
+                counts += np.bincount(fq, minlength=b)
+
+            # The scalar loop re-ranks its candidate list every round;
+            # do the same for every row that had a frontier.
+            sub_d = cand_d[rows]
+            order = np.argsort(sub_d, axis=1, kind="stable")
+            cand_d[rows] = np.take_along_axis(sub_d, order, axis=1)
+            cand_ids[rows] = np.take_along_axis(
+                cand_ids[rows], order, axis=1
+            )
+            new_counts = np.minimum(counts[rows], beam_width)
+            counts[rows] = new_counts
+            dropped = col[None, :] >= new_counts[:, None]
+            sub_d = cand_d[rows]
+            sub_i = cand_ids[rows]
+            sub_d[dropped] = np.inf
+            sub_i[dropped] = 0
+            cand_d[rows] = sub_d
+            cand_ids[rows] = sub_i
+
+        # Exact rerank per query over every vertex whose page was read.
+        out_ids = np.full((b, k), -1, dtype=np.int64)
+        out_d = np.full((b, k), np.inf, dtype=np.float64)
+        out_counts = np.zeros(b, dtype=np.int64)
+        for r in range(b):
+            if not exact_ids[r]:
+                continue
+            eids = np.concatenate(exact_ids[r])
+            eds = np.concatenate(exact_d[r])
+            order = np.argsort(eds, kind="stable")[:k]
+            c = order.size
+            out_ids[r, :c] = eids[order]
+            out_d[r, :c] = eds[order]
+            out_counts[r] = c
+        return DiskBatchResult(
+            ids=out_ids,
+            distances=out_d,
+            counts=out_counts,
+            hops=hops,
+            io_rounds=io_rounds,
+            page_reads=page_reads,
+            simulated_io_us=io_us,
             distance_computations=dist_comps,
         )
 

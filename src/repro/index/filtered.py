@@ -33,6 +33,46 @@ class FilteredSearchResult:
     beam_width_used: int
 
 
+@dataclass
+class FilteredBatchResult:
+    """Result of one filtered query batch.
+
+    Stacked ``(B, k)`` ids/distances (padded ``-1`` / ``inf`` past each
+    row's ``counts``), per-query counters, and the beam width each
+    query finally escalated to.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    distance_computations: np.ndarray
+    beam_widths_used: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    def row(self, i: int) -> FilteredSearchResult:
+        """Query ``i``'s result in the single-query format."""
+        c = int(self.counts[i])
+        return FilteredSearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            distance_computations=int(self.distance_computations[i]),
+            beam_width_used=int(self.beam_widths_used[i]),
+        )
+
+
 class FilteredMemoryIndex:
     """In-memory PQ+graph index with per-vertex labels.
 
@@ -112,3 +152,104 @@ class FilteredMemoryIndex:
                     beam_width_used=beam,
                 )
             beam = min(2 * beam, max_beam_width)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        labels: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+        max_beam_width: int = 256,
+    ) -> FilteredBatchResult:
+        """Batched filtered search with shared escalation rounds.
+
+        ``labels`` is a scalar (one label for the whole batch) or a
+        ``(B,)`` array.  Every query follows the scalar path's beam
+        schedule (``max(beam_width, k)`` doubling to
+        ``max_beam_width``), so each escalation round is one lockstep
+        routing pass over the still-unsatisfied queries; row ``b`` is
+        bitwise identical to :meth:`search` on ``queries[b]``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        b = queries.shape[0]
+        labels_arr = np.asarray(labels).reshape(-1)
+        if labels_arr.size == 1:
+            qlabels = np.full(b, labels_arr[0])
+        elif labels_arr.size == b:
+            qlabels = labels_arr
+        else:
+            raise ValueError(f"labels must be a scalar or a ({b},) array")
+        out_ids = np.full((b, k), -1, dtype=np.int64)
+        out_d = np.full((b, k), np.inf, dtype=np.float64)
+        counts = np.zeros(b, dtype=np.int64)
+        hops = np.zeros(b, dtype=np.int64)
+        comps = np.zeros(b, dtype=np.int64)
+        beams_used = np.zeros(b, dtype=np.int64)
+        if b == 0:
+            return FilteredBatchResult(
+                ids=out_ids, distances=out_d, counts=counts, hops=hops,
+                distance_computations=comps, beam_widths_used=beams_used,
+            )
+        available = np.array(
+            [self.label_count(int(lab)) for lab in qlabels], dtype=np.int64
+        )
+        tables = self.quantizer.lookup_table_batch(queries)
+        codes = self.codes
+        vertex_labels = self.labels
+
+        active = np.ones(b, dtype=bool)
+        beam = max(beam_width, k)
+        while active.any():
+            sub = np.flatnonzero(active)
+
+            def dist_fn(
+                qidx: np.ndarray, vertex_ids: np.ndarray, _sub=sub
+            ) -> np.ndarray:
+                return tables.pair_distance(_sub[qidx], codes[vertex_ids])
+
+            result = self.graph.search_batch(dist_fn, beam, sub.size)
+            hops[sub] += result.hops
+            comps[sub] += result.distance_computations
+
+            width = result.ids.shape[1]
+            valid = np.arange(width)[None, :] < result.counts[:, None]
+            safe_ids = np.where(valid, result.ids, 0)
+            match = valid & (vertex_labels[safe_ids] == qlabels[sub][:, None])
+            matched_counts = match.sum(axis=1)
+            done = (matched_counts >= np.minimum(k, available[sub])) | (
+                beam >= max_beam_width
+            )
+            if done.any():
+                rows = np.flatnonzero(done)
+                # Stable compaction: matched candidates first, ranking
+                # order preserved, then truncate to k.
+                order = np.argsort(~match[rows], axis=1, kind="stable")
+                ids_sorted = np.take_along_axis(
+                    result.ids[rows], order, axis=1
+                )
+                d_sorted = np.take_along_axis(
+                    result.distances[rows], order, axis=1
+                )
+                take = np.minimum(matched_counts[rows], k)
+                if ids_sorted.shape[1] < k:
+                    pad = k - ids_sorted.shape[1]
+                    ids_sorted = np.pad(ids_sorted, ((0, 0), (0, pad)))
+                    d_sorted = np.pad(d_sorted, ((0, 0), (0, pad)))
+                keep = np.arange(k)[None, :] < take[:, None]
+                done_global = sub[rows]
+                out_ids[done_global] = np.where(keep, ids_sorted[:, :k], -1)
+                out_d[done_global] = np.where(keep, d_sorted[:, :k], np.inf)
+                counts[done_global] = take
+                beams_used[done_global] = beam
+                active[done_global] = False
+            beam = min(2 * beam, max_beam_width)
+        return FilteredBatchResult(
+            ids=out_ids,
+            distances=out_d,
+            counts=counts,
+            hops=hops,
+            distance_computations=comps,
+            beam_widths_used=beams_used,
+        )

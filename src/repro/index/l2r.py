@@ -20,9 +20,9 @@ from typing import Optional
 import numpy as np
 
 from ..graphs.base import ProximityGraph
-from ..quantization.adc import LookupTable
+from ..quantization.adc import BatchLookupTable, LookupTable
 from ..quantization.base import BaseQuantizer
-from .memory_index import MemoryIndex, MemorySearchResult
+from .memory_index import MemoryIndex
 
 
 class LearnedRoutingReweighter:
@@ -77,6 +77,17 @@ class LearnedRoutingReweighter:
             )
         return LookupTable(table=table.table * self.weights[:, None])
 
+    def reweight_batch(self, tables: BatchLookupTable) -> BatchLookupTable:
+        """Apply the learned weights to a whole batch of ADC tables."""
+        if tables.num_chunks != self.weights.size:
+            raise ValueError(
+                f"tables have {tables.num_chunks} chunks, weights expect "
+                f"{self.weights.size}"
+            )
+        return BatchLookupTable(
+            tables=tables.tables * self.weights[None, :, None]
+        )
+
 
 class L2RIndex(MemoryIndex):
     """In-memory index whose routing distances use learned weights."""
@@ -99,26 +110,9 @@ class L2RIndex(MemoryIndex):
             rng=rng,
         )
 
-    def search(
-        self,
-        query: np.ndarray,
-        k: int = 10,
-        beam_width: int = 32,
-    ) -> MemorySearchResult:
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if k > beam_width:
-            raise ValueError("k cannot exceed beam_width")
-        table = self.reweighter.reweight(self.quantizer.lookup_table(query))
-        codes = self.codes
+    def _build_table(self, query: np.ndarray) -> LookupTable:
+        """Learned reweighting applied on top of the base ADC table."""
+        return self.reweighter.reweight(super()._build_table(query))
 
-        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
-            return table.distance(codes[vertex_ids])
-
-        result = self.graph.search(dist_fn, beam_width, k=k)
-        return MemorySearchResult(
-            ids=result.ids,
-            distances=result.distances,
-            hops=result.hops,
-            distance_computations=result.distance_computations,
-        )
+    def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
+        return self.reweighter.reweight_batch(super()._build_tables(queries))

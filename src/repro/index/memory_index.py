@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..graphs.base import ProximityGraph
+from ..quantization.adc import BatchLookupTable, LookupTable
 from ..quantization.base import BaseQuantizer
 
 
@@ -26,6 +27,45 @@ class MemorySearchResult:
     distances: np.ndarray
     hops: int
     distance_computations: int
+
+
+@dataclass
+class MemoryBatchResult:
+    """Result of one in-memory query batch.
+
+    ``ids`` / ``distances`` are stacked ``(B, k)`` arrays; row ``b``'s
+    first ``counts[b]`` entries are valid (padded with ``-1`` / ``inf``
+    beyond).  ``hops`` and ``distance_computations`` are per-query;
+    the ``total_*`` properties aggregate them.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    distance_computations: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    def row(self, i: int) -> MemorySearchResult:
+        """Query ``i``'s result in the single-query format."""
+        c = int(self.counts[i])
+        return MemorySearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            distance_computations=int(self.distance_computations[i]),
+        )
 
 
 class MemoryIndex:
@@ -45,6 +85,10 @@ class MemoryIndex:
         quantized too; cheaper table reuse, noisier estimates — kept to
         reproduce the paper's §3.1 premise that ADC is the better
         trade).
+    table_dtype:
+        Precision of the per-query ADC tables: ``np.float64`` (default)
+        or ``np.float32`` — the opt-in half-bandwidth path for
+        table builds; distance estimates then differ by a few ULPs.
     """
 
     def __init__(
@@ -53,6 +97,7 @@ class MemoryIndex:
         quantizer: BaseQuantizer,
         x: np.ndarray,
         distance_mode: str = "adc",
+        table_dtype: np.dtype = np.float64,
     ) -> None:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if graph.num_vertices != x.shape[0]:
@@ -64,10 +109,49 @@ class MemoryIndex:
         if distance_mode not in ("adc", "sdc"):
             raise ValueError("distance_mode must be 'adc' or 'sdc'")
         self.distance_mode = distance_mode
+        self.table_dtype = np.dtype(table_dtype)
         self.graph = graph
         self.quantizer = quantizer
         self.codes = quantizer.encode(x)
         self.dim = x.shape[1]
+
+    # ------------------------------------------------------------------
+    def _build_table(self, query: np.ndarray) -> LookupTable:
+        """Per-query ADC (or SDC) lookup table."""
+        if self.distance_mode == "sdc":
+            # Quantize the query first: the table then measures
+            # codeword-to-codeword distances (symmetric computation).
+            book = self.quantizer.codebook
+            transformed = self.quantizer.transform(query)
+            recon = book.decode(book.encode(transformed[None, :]))[0]
+            return LookupTable.build(book, recon, dtype=self.table_dtype)
+        return self.quantizer.lookup_table(query, dtype=self.table_dtype)
+
+    def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
+        """One-shot ADC (or SDC) tables for a whole query batch."""
+        if self.distance_mode == "sdc":
+            book = self.quantizer.codebook
+            # Row-wise transform AND encode for bitwise parity with the
+            # scalar path: 2-D gemms can take a different BLAS path and
+            # flip a near-tied codeword argmin.  decode is a pure
+            # gather, so batching it is safe.
+            transformed = [
+                np.asarray(self.quantizer.transform(q)).reshape(-1)
+                for q in np.atleast_2d(queries)
+            ]
+            codes = np.vstack([book.encode(t[None, :]) for t in transformed])
+            recon = book.decode(codes)
+            return BatchLookupTable.build(book, recon, dtype=self.table_dtype)
+        return self.quantizer.lookup_table_batch(
+            queries, dtype=self.table_dtype
+        )
+
+    @staticmethod
+    def _validate_k(k: int, beam_width: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if k > beam_width:
+            raise ValueError("k cannot exceed beam_width")
 
     # ------------------------------------------------------------------
     def search(
@@ -77,21 +161,8 @@ class MemoryIndex:
         beam_width: int = 32,
     ) -> MemorySearchResult:
         """Beam-search with ADC distances; no rerank."""
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if k > beam_width:
-            raise ValueError("k cannot exceed beam_width")
-        if self.distance_mode == "sdc":
-            # Quantize the query first: the table then measures
-            # codeword-to-codeword distances (symmetric computation).
-            book = self.quantizer.codebook
-            transformed = self.quantizer.transform(query)
-            recon = book.decode(book.encode(transformed[None, :]))[0]
-            from ..quantization.adc import LookupTable
-
-            table = LookupTable.build(book, recon)
-        else:
-            table = self.quantizer.lookup_table(query)
+        self._validate_k(k, beam_width)
+        table = self._build_table(query)
         codes = self.codes
 
         def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
@@ -101,6 +172,45 @@ class MemoryIndex:
         return MemorySearchResult(
             ids=result.ids,
             distances=result.distances,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> MemoryBatchResult:
+        """Batched beam search: one table build + one lockstep routing.
+
+        Every query's ids/distances/counters are bitwise identical to
+        looping :meth:`search` over the rows of ``queries``; the batch
+        path only amortizes the table build into a single broadcasted
+        ``einsum`` and the routing into the lockstep kernel.
+        """
+        self._validate_k(k, beam_width)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        b = queries.shape[0]
+        if b == 0:
+            return MemoryBatchResult(
+                ids=np.empty((0, k), dtype=np.int64),
+                distances=np.empty((0, k), dtype=np.float64),
+                counts=np.empty(0, dtype=np.int64),
+                hops=np.empty(0, dtype=np.int64),
+                distance_computations=np.empty(0, dtype=np.int64),
+            )
+        tables = self._build_tables(queries)
+        codes = self.codes
+
+        def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+            return tables.pair_distance(qidx, codes[vertex_ids])
+
+        result = self.graph.search_batch(dist_fn, beam_width, b, k=k)
+        return MemoryBatchResult(
+            ids=result.ids,
+            distances=result.distances,
+            counts=result.counts,
             hops=result.hops,
             distance_computations=result.distance_computations,
         )

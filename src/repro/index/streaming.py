@@ -26,7 +26,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..graphs.base import medoid
-from ..graphs.beam import beam_search
+from ..graphs.beam import beam_search, beam_search_batch
 from ..graphs.vamana import robust_prune
 from ..quantization.base import BaseQuantizer
 
@@ -39,6 +39,43 @@ class StreamingSearchResult:
     distances: np.ndarray
     hops: int
     distance_computations: int
+
+
+@dataclass
+class StreamingBatchResult:
+    """Result of one query batch against the streaming index.
+
+    Stacked ``(B, k)`` ids/distances (padded ``-1`` / ``inf`` past each
+    row's ``counts``) plus per-query counters.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    distance_computations: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    def row(self, i: int) -> StreamingSearchResult:
+        """Query ``i``'s result in the single-query format."""
+        c = int(self.counts[i])
+        return StreamingSearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            distance_computations=int(self.distance_computations[i]),
+        )
 
 
 class FreshVamanaIndex:
@@ -241,6 +278,71 @@ class FreshVamanaIndex:
         return StreamingSearchResult(
             ids=ids,
             distances=dists,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> StreamingBatchResult:
+        """Batched ADC beam search with per-query tombstone filtering.
+
+        Row ``b`` is bitwise identical to :meth:`search` on
+        ``queries[b]``: one shared table build, one lockstep routing
+        pass, then a vectorized stable compaction that drops tombstoned
+        vertices while preserving each row's ranking order.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        b = queries.shape[0]
+        if b == 0 or self._entry is None or self.num_active == 0:
+            return StreamingBatchResult(
+                ids=np.full((b, k), -1, dtype=np.int64),
+                distances=np.full((b, k), np.inf, dtype=np.float64),
+                counts=np.zeros(b, dtype=np.int64),
+                hops=np.zeros(b, dtype=np.int64),
+                distance_computations=np.zeros(b, dtype=np.int64),
+            )
+        tables = self.quantizer.lookup_table_batch(queries)
+        codes = np.asarray(self._codes)
+
+        def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+            return tables.pair_distance(qidx, codes[vertex_ids])
+
+        result = beam_search_batch(
+            self._adjacency,
+            np.full(b, self._entry, dtype=np.int64),
+            dist_fn,
+            beam_width,
+        )
+        # Stable compaction: alive candidates first, order preserved —
+        # the batched equivalent of the scalar path's boolean masking.
+        dead = np.asarray(self._deleted, dtype=bool)
+        width = result.ids.shape[1]
+        valid = np.arange(width)[None, :] < result.counts[:, None]
+        safe_ids = np.where(valid, result.ids, 0)
+        alive = valid & ~dead[safe_ids]
+        order = np.argsort(~alive, axis=1, kind="stable")
+        ids_sorted = np.take_along_axis(result.ids, order, axis=1)
+        d_sorted = np.take_along_axis(result.distances, order, axis=1)
+        take = np.minimum(alive.sum(axis=1), k)
+        keep = np.arange(k)[None, :] < take[:, None]
+        pad_w = max(k, ids_sorted.shape[1])
+        if ids_sorted.shape[1] < k:
+            ids_sorted = np.pad(
+                ids_sorted, ((0, 0), (0, pad_w - ids_sorted.shape[1]))
+            )
+            d_sorted = np.pad(
+                d_sorted, ((0, 0), (0, pad_w - d_sorted.shape[1]))
+            )
+        return StreamingBatchResult(
+            ids=np.where(keep, ids_sorted[:, :k], -1),
+            distances=np.where(keep, d_sorted[:, :k], np.inf),
+            counts=take,
             hops=result.hops,
             distance_computations=result.distance_computations,
         )

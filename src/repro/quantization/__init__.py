@@ -11,7 +11,7 @@
 * :func:`kmeans` — the Lloyd clustering primitive.
 """
 
-from .adc import LookupTable, adc_distances, sdc_distances
+from .adc import BatchLookupTable, LookupTable, adc_distances, sdc_distances
 from .base import BaseQuantizer
 from .catalyst import CatalystQuantizer
 from .codebook import Codebook, code_dtype_for
@@ -31,6 +31,7 @@ __all__ = [
     "LinkAndCodeQuantizer",
     "Codebook",
     "code_dtype_for",
+    "BatchLookupTable",
     "LookupTable",
     "adc_distances",
     "sdc_distances",

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from .adc import LookupTable
+from .adc import BatchLookupTable, LookupTable
 from .codebook import Codebook
 
 
@@ -74,9 +74,32 @@ class BaseQuantizer(abc.ABC):
         """Round-trip ``x`` through encode/decode (internal space)."""
         return self.decode(self.encode(x))
 
-    def lookup_table(self, query: np.ndarray) -> LookupTable:
+    def lookup_table(
+        self, query: np.ndarray, dtype: np.dtype = np.float64
+    ) -> LookupTable:
         """Precomputed ADC table for a (raw) query vector."""
-        return LookupTable.build(self._require_fitted(), self.transform(query))
+        return LookupTable.build(
+            self._require_fitted(), self.transform(query), dtype=dtype
+        )
+
+    def lookup_table_batch(
+        self, queries: np.ndarray, dtype: np.dtype = np.float64
+    ) -> BatchLookupTable:
+        """Precomputed ADC tables for a whole (raw) query batch.
+
+        One broadcasted table build for ``(B, dim)`` queries; row ``b``
+        is bitwise identical to ``lookup_table(queries[b], dtype)``.
+        The query transform is applied row by row: a 2-D ``transform``
+        can take a different BLAS path than the per-row call (gemm vs
+        vec-mat) and drift by ULPs, which would break the engine's
+        bitwise batch/scalar parity for rotation/projection quantizers.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        book = self._require_fitted()
+        transformed = np.stack(
+            [np.asarray(self.transform(q)).reshape(-1) for q in queries]
+        ) if queries.shape[0] else queries
+        return BatchLookupTable.build(book, transformed, dtype=dtype)
 
     # ------------------------------------------------------------------
     def quantization_error(self, x: np.ndarray) -> float:

@@ -1,0 +1,5 @@
+"""Test package marker.
+
+The suite uses relative imports (``from .helpers import gradcheck``),
+which only resolve when ``tests`` is an importable package.
+"""

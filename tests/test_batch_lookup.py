@@ -1,0 +1,118 @@
+"""Regression tests for the batched ADC table build.
+
+``BatchLookupTable.build`` must reproduce, for every query in the
+batch, the brute-force per-chunk squared distances to every codeword —
+and match the scalar ``LookupTable.build`` bitwise (both reduce over
+the sub-dimension axis in the same order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantization import BatchLookupTable, LookupTable
+from repro.quantization.codebook import Codebook
+
+RNG = np.random.default_rng(17)
+
+
+def random_codebook(m=4, k=8, d_sub=5):
+    return Codebook(codewords=RNG.normal(size=(m, k, d_sub)))
+
+
+def brute_force_table(codebook, query):
+    """Per-chunk distances computed the slow, obvious way."""
+    m, k, d_sub = codebook.codewords.shape
+    table = np.zeros((m, k))
+    for j in range(m):
+        sub_q = query[j * d_sub : (j + 1) * d_sub]
+        for c in range(k):
+            diff = sub_q - codebook.codewords[j, c]
+            table[j, c] = float(np.dot(diff, diff))
+    return table
+
+
+class TestBuildBatchRegression:
+    @pytest.mark.parametrize("m,k,d_sub", [(2, 4, 3), (4, 8, 5), (8, 16, 2)])
+    def test_against_brute_force(self, m, k, d_sub):
+        codebook = random_codebook(m, k, d_sub)
+        queries = RNG.normal(size=(6, m * d_sub))
+        tables = BatchLookupTable.build(codebook, queries)
+        assert tables.tables.shape == (6, m, k)
+        for b in range(6):
+            np.testing.assert_allclose(
+                tables.tables[b],
+                brute_force_table(codebook, queries[b]),
+                rtol=1e-12,
+                atol=1e-12,
+            )
+
+    def test_bitwise_matches_scalar_build(self):
+        codebook = random_codebook()
+        queries = RNG.normal(size=(9, codebook.dim))
+        tables = BatchLookupTable.build(codebook, queries)
+        for b in range(9):
+            single = LookupTable.build(codebook, queries[b])
+            np.testing.assert_array_equal(tables.tables[b], single.table)
+
+    def test_table_for_view(self):
+        codebook = random_codebook()
+        queries = RNG.normal(size=(3, codebook.dim))
+        tables = BatchLookupTable.build(codebook, queries)
+        view = tables.table_for(1)
+        np.testing.assert_array_equal(view.table, tables.tables[1])
+        assert view.num_chunks == tables.num_chunks
+
+    def test_dim_mismatch_rejected(self):
+        codebook = random_codebook()
+        with pytest.raises(ValueError):
+            BatchLookupTable.build(
+                codebook, RNG.normal(size=(2, codebook.dim + 1))
+            )
+
+
+class TestBatchDistances:
+    def test_distance_matrix_matches_scalar(self):
+        codebook = random_codebook(m=4, k=8, d_sub=3)
+        queries = RNG.normal(size=(5, codebook.dim))
+        codes = RNG.integers(0, 8, size=(20, 4))
+        tables = BatchLookupTable.build(codebook, queries)
+        matrix = tables.distance(codes)
+        assert matrix.shape == (5, 20)
+        for b in range(5):
+            scalar = LookupTable.build(codebook, queries[b]).distance(codes)
+            np.testing.assert_array_equal(matrix[b], scalar)
+
+    def test_pair_distance_matches_scalar(self):
+        codebook = random_codebook(m=4, k=8, d_sub=3)
+        queries = RNG.normal(size=(5, codebook.dim))
+        codes = RNG.integers(0, 8, size=(12, 4))
+        qidx = RNG.integers(0, 5, size=12)
+        tables = BatchLookupTable.build(codebook, queries)
+        paired = tables.pair_distance(qidx, codes)
+        for p in range(12):
+            scalar = LookupTable.build(codebook, queries[qidx[p]]).distance(
+                codes[p]
+            )
+            assert paired[p] == scalar
+
+    def test_pair_distance_shape_checks(self):
+        codebook = random_codebook(m=4, k=8, d_sub=3)
+        tables = BatchLookupTable.build(
+            codebook, RNG.normal(size=(3, codebook.dim))
+        )
+        with pytest.raises(ValueError):
+            tables.pair_distance(
+                np.array([0, 1]), RNG.integers(0, 8, size=(3, 4))
+            )
+        with pytest.raises(ValueError):
+            tables.distance(RNG.integers(0, 8, size=(3, 5)))
+
+    def test_float32_build(self):
+        codebook = random_codebook()
+        queries = RNG.normal(size=(4, codebook.dim))
+        t32 = BatchLookupTable.build(codebook, queries, dtype=np.float32)
+        t64 = BatchLookupTable.build(codebook, queries)
+        assert t32.tables.dtype == np.float32
+        np.testing.assert_allclose(t32.tables, t64.tables, rtol=1e-5)

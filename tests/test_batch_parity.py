@@ -1,0 +1,233 @@
+"""Batch/scalar parity: ``search_batch`` must be bitwise identical to
+looping ``search`` over the same queries, for every index scenario.
+
+The batched engine only amortizes work (one broadcasted table build,
+one lockstep routing kernel, shared visited-set buffers); it performs
+the same arithmetic in the same order per query, so ids, distances,
+and every counter must match *exactly* — no tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.graphs import build_hnsw, build_vamana
+from repro.index import (
+    DiskIndex,
+    FilteredIndex,
+    L2RIndex,
+    MemoryIndex,
+    StreamingIndex,
+)
+from repro.quantization import OptimizedProductQuantizer, ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = load("sift", n_base=500, n_queries=16, seed=3)
+    quantizer = ProductQuantizer(8, 16, seed=0).fit(data.train)
+    vamana = build_vamana(data.base, r=10, search_l=24, seed=0)
+    hnsw = build_hnsw(data.base, m=6, ef_construction=24, seed=0)
+    return data, quantizer, vamana, hnsw
+
+
+def assert_rows_match(scalar_results, batch_result, extra_attrs=()):
+    """Every row of the batch result equals its scalar counterpart."""
+    assert batch_result.num_queries == len(scalar_results)
+    for i, scalar in enumerate(scalar_results):
+        row = batch_result.row(i)
+        np.testing.assert_array_equal(scalar.ids, row.ids, err_msg=f"q{i} ids")
+        np.testing.assert_array_equal(
+            scalar.distances, row.distances, err_msg=f"q{i} distances"
+        )
+        assert scalar.hops == row.hops, f"q{i} hops"
+        assert (
+            scalar.distance_computations == row.distance_computations
+        ), f"q{i} distance_computations"
+        for attr in extra_attrs:
+            assert getattr(scalar, attr) == pytest.approx(
+                getattr(row, attr)
+            ), f"q{i} {attr}"
+
+
+class TestMemoryParity:
+    @pytest.mark.parametrize("graph_kind", ["vamana", "hnsw"])
+    @pytest.mark.parametrize("mode", ["adc", "sdc"])
+    def test_modes_and_graphs(self, setup, graph_kind, mode):
+        data, quantizer, vamana, hnsw = setup
+        graph = vamana if graph_kind == "vamana" else hnsw
+        index = MemoryIndex(graph, quantizer, data.base, distance_mode=mode)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+    def test_aggregated_counters(self, setup):
+        data, quantizer, vamana, _ = setup
+        index = MemoryIndex(vamana, quantizer, data.base)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert batch.total_hops == sum(r.hops for r in scalars)
+        assert batch.total_distance_computations == sum(
+            r.distance_computations for r in scalars
+        )
+
+    def test_rotated_quantizer(self, setup):
+        # OPQ transforms queries through a rotation; the batch path
+        # must apply it row-wise (a 2-D gemm takes a different BLAS
+        # path and drifts by ULPs, breaking bitwise parity).
+        data, _, vamana, _ = setup
+        opq = OptimizedProductQuantizer(8, 16, opq_iter=3, seed=0).fit(
+            data.train
+        )
+        index = MemoryIndex(vamana, opq, data.base)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+    def test_rotated_quantizer_sdc(self, setup):
+        data, _, vamana, _ = setup
+        opq = OptimizedProductQuantizer(8, 16, opq_iter=3, seed=0).fit(
+            data.train
+        )
+        index = MemoryIndex(vamana, opq, data.base, distance_mode="sdc")
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+    def test_stacked_shapes(self, setup):
+        data, quantizer, vamana, _ = setup
+        batch = MemoryIndex(vamana, quantizer, data.base).search_batch(
+            data.queries, k=7, beam_width=24
+        )
+        assert batch.ids.shape == (len(data.queries), 7)
+        assert batch.distances.shape == (len(data.queries), 7)
+        assert batch.ids.dtype == np.int64
+
+
+class TestL2RParity:
+    def test_reweighted_tables(self, setup):
+        data, quantizer, vamana, _ = setup
+        index = L2RIndex(
+            vamana, quantizer, data.base, rng=np.random.default_rng(5)
+        )
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+
+class TestDiskParity:
+    @pytest.mark.parametrize("io_width", [1, 4])
+    def test_hybrid(self, setup, io_width):
+        data, quantizer, vamana, _ = setup
+        index = DiskIndex(vamana, quantizer, data.base, io_width=io_width)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+    def test_io_accounting(self, setup):
+        data, quantizer, vamana, _ = setup
+        index = DiskIndex(vamana, quantizer, data.base, io_width=4)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        for i, scalar in enumerate(scalars):
+            row = batch.row(i)
+            assert scalar.io_rounds == row.io_rounds, f"q{i}"
+            assert scalar.page_reads == row.page_reads, f"q{i}"
+            assert scalar.simulated_io_us == pytest.approx(
+                row.simulated_io_us
+            ), f"q{i}"
+        assert batch.total_page_reads == sum(r.page_reads for r in scalars)
+
+
+class TestStreamingParity:
+    def test_with_tombstones(self, setup):
+        data, quantizer, _, _ = setup
+        index = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=10, search_l=24, seed=0
+        )
+        index.insert_batch(data.base[:250])
+        for v in (3, 20, 77, 120):
+            index.delete(v)
+        scalars = [
+            index.search(q, k=10, beam_width=24) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=10, beam_width=24)
+        assert_rows_match(scalars, batch)
+
+    def test_after_consolidation(self, setup):
+        data, quantizer, _, _ = setup
+        index = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=10, search_l=24, seed=0
+        )
+        index.insert_batch(data.base[:150])
+        for v in (1, 5, 30):
+            index.delete(v)
+        index.consolidate()
+        scalars = [
+            index.search(q, k=8, beam_width=20) for q in data.queries
+        ]
+        batch = index.search_batch(data.queries, k=8, beam_width=20)
+        assert_rows_match(scalars, batch)
+
+
+class TestFilteredParity:
+    def test_per_query_labels(self, setup):
+        data, quantizer, vamana, _ = setup
+        labels = np.arange(data.base.shape[0]) % 5
+        index = FilteredIndex(vamana, quantizer, data.base, labels)
+        qlabels = np.arange(len(data.queries)) % 5
+        scalars = [
+            index.search(q, int(lab), k=5, beam_width=12, max_beam_width=64)
+            for q, lab in zip(data.queries, qlabels)
+        ]
+        batch = index.search_batch(
+            data.queries, qlabels, k=5, beam_width=12, max_beam_width=64
+        )
+        assert_rows_match(scalars, batch, extra_attrs=("beam_width_used",))
+
+    def test_scalar_label_broadcast(self, setup):
+        data, quantizer, vamana, _ = setup
+        labels = np.arange(data.base.shape[0]) % 3
+        index = FilteredIndex(vamana, quantizer, data.base, labels)
+        scalars = [
+            index.search(q, 1, k=5, beam_width=12, max_beam_width=64)
+            for q in data.queries
+        ]
+        batch = index.search_batch(
+            data.queries, 1, k=5, beam_width=12, max_beam_width=64
+        )
+        assert_rows_match(scalars, batch, extra_attrs=("beam_width_used",))
+
+    def test_escalation_tracked(self, setup):
+        # A rare label forces some queries to escalate the beam; the
+        # batch path must follow the same schedule per query.
+        data, quantizer, vamana, _ = setup
+        n = data.base.shape[0]
+        labels = np.zeros(n, dtype=np.int64)
+        labels[:7] = 1  # rare label
+        index = FilteredIndex(vamana, quantizer, data.base, labels)
+        scalars = [
+            index.search(q, 1, k=5, beam_width=8, max_beam_width=128)
+            for q in data.queries
+        ]
+        batch = index.search_batch(
+            data.queries, 1, k=5, beam_width=8, max_beam_width=128
+        )
+        assert_rows_match(scalars, batch, extra_attrs=("beam_width_used",))
+        assert (batch.beam_widths_used >= 8).all()
