@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-batch bench-batch demo
+.PHONY: test test-batch test-build bench-batch bench-build smoke demo
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -15,9 +15,21 @@ test-batch:
 	$(PYTHON) -m pytest -x -q tests/test_batch_parity.py \
 		tests/test_batch_edge_cases.py tests/test_batch_lookup.py
 
+# Lockstep-construction parity (batched vs sequential builds).
+test-build:
+	$(PYTHON) -m pytest -x -q tests/test_build_parity.py
+
 # Single-vs-batch QPS on memory + hybrid scenarios (>= 3x gate).
 bench-batch:
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py -q
+
+# Sequential-vs-lockstep build times (identity + >= 2.5x vamana gate).
+bench-build:
+	cd benchmarks && $(PYTHON) -m pytest bench_build.py -q
+
+# End-to-end smoke: the quickstart example must run clean.
+smoke:
+	$(PYTHON) examples/quickstart.py
 
 demo:
 	$(PYTHON) -m repro.cli demo --batch-size 64

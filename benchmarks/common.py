@@ -79,6 +79,41 @@ def batch_speedup_guard(
     return speedup
 
 
+def build_speedup_guard(
+    builder,
+    x,
+    batch_size: int = 32,
+) -> float:
+    """Micro-benchmark guard: print sequential-vs-lockstep build time,
+    return the speedup (mirrors :func:`batch_speedup_guard` for the
+    construction path).
+
+    ``builder(x, build_batch_size)`` must construct a graph.  Asserts
+    the two builds are byte-identical — including HNSW upper layers —
+    since the speculative lockstep driver must never change the
+    produced graph, and keeps the construction speedup visible so
+    regressions where the batched build silently degrades to
+    sequential speed are caught.
+    """
+    from repro.eval.harness import graphs_identical
+
+    start = time.perf_counter()
+    reference = builder(x, 1)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = builder(x, batch_size)
+    batch_s = time.perf_counter() - start
+    assert graphs_identical(
+        reference, batched
+    ), "lockstep build diverged from the sequential graph"
+    speedup = seq_s / max(batch_s, 1e-12)
+    print(
+        f"[build guard] sequential {seq_s:.2f}s vs "
+        f"lockstep({batch_size}) {batch_s:.2f}s -> {speedup:.2f}x"
+    )
+    return speedup
+
+
 def curve_rows(curves: Dict[str, list]) -> List[list]:
     """Flatten method->points curves into printable rows."""
     rows = []

@@ -8,8 +8,8 @@ Commands
     Train RPQ on a profile, build an index, and print recall vs PQ
     (``--batch-size N`` answers queries through the batched engine).
 ``experiment``
-    Run one of the paper-artifact drivers (table2, fig4, batch) and
-    print it.
+    Run one of the paper-artifact drivers (table2, fig4, batch, build)
+    and print it.
 """
 
 from __future__ import annotations
@@ -45,6 +45,13 @@ def _cmd_profiles(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.float32 and args.scenario != "memory":
+        print(
+            "--float32 applies to the memory scenario only",
+            file=sys.stderr,
+        )
+        return 2
+
     from .core import RPQ, RPQTrainingConfig
     from .datasets import compute_ground_truth, load
     from .eval import format_table
@@ -71,23 +78,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rpq.fit(data.base, graph, training_sample=data.train)
     pq = ProductQuantizer(args.chunks, args.codewords, seed=args.seed).fit(data.train)
 
+    from .eval.sweep import run_queries_batched
+
+    storage_dtype = np.float32 if args.float32 else np.float64
     rows = []
     for name, quantizer in (("PQ", pq), ("RPQ", rpq.quantizer)):
         if args.scenario == "memory":
-            index = MemoryIndex(graph, quantizer, data.base)
-        else:
-            index = DiskIndex(graph, quantizer, data.base)
-        if args.batch_size > 1:
-            from .eval.sweep import run_queries_batched
-
-            results = run_queries_batched(
-                index, data.queries, 10, args.beam, args.batch_size
+            index = MemoryIndex(
+                graph, quantizer, data.base, storage_dtype=storage_dtype
             )
         else:
-            results = [
-                index.search(q, k=10, beam_width=args.beam)
-                for q in data.queries
-            ]
+            index = DiskIndex(graph, quantizer, data.base)
+        # Everything routes through the unified engine; --batch-size
+        # only sets how many queries share each kernel call.
+        results = run_queries_batched(
+            index, data.queries, 10, args.beam, args.batch_size
+        )
         recall = recall_at_k([r.ids for r in results], gt.ids)
         hops = float(np.mean([r.hops for r in results]))
         rows.append([name, round(recall, 3), round(hops, 1)])
@@ -96,6 +102,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         if args.batch_size > 1
         else "per-query"
     )
+    if args.float32 and args.scenario == "memory":
+        engine += ", float32 storage"
     print(
         format_table(
             ["method", "recall@10", "hops"],
@@ -111,8 +119,39 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .eval import format_table
-    from .eval.harness import run_batch_throughput, run_fig4, run_table2
+    from .eval.harness import (
+        run_batch_throughput,
+        run_build_throughput,
+        run_fig4,
+        run_table2,
+    )
 
+    if args.name == "build":
+        points = run_build_throughput(
+            graph_kind=args.graph,
+            dataset_name=args.dataset,
+            batch_sizes=sorted({8, args.batch_size}),
+            n_base=args.n_base,
+            seed=args.seed,
+        )
+        rows = [
+            [
+                p.build_batch_size,
+                round(p.sequential_seconds, 2),
+                round(p.batched_seconds, 2),
+                f"{p.speedup:.2f}x",
+                "yes" if p.identical else "NO",
+            ]
+            for p in points
+        ]
+        print(
+            format_table(
+                ["build batch", "sequential s", "batched s", "speedup", "identical"],
+                rows,
+                title=f"Lockstep construction ({args.graph}, {args.dataset})",
+            )
+        )
+        return 0
     if args.name == "batch":
         points = run_batch_throughput(
             dataset_name=args.dataset,
@@ -205,11 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="answer queries through search_batch in chunks of this size",
     )
+    p_demo.add_argument(
+        "--float32",
+        action="store_true",
+        help="memory scenario: half-precision storage (float32 codewords, "
+        "dataset encoding, and ADC tables)",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
-    p_exp.add_argument("name", choices=("table2", "fig4", "batch"))
+    p_exp.add_argument("name", choices=("table2", "fig4", "batch", "build"))
     p_exp.add_argument("--dataset", default="sift")
+    p_exp.add_argument("--graph", choices=("hnsw", "nsg", "vamana"), default="vamana")
     p_exp.add_argument("--n-base", type=int, default=800)
     p_exp.add_argument("--n-queries", type=int, default=20)
     p_exp.add_argument("--seed", type=int, default=0)
@@ -217,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=_positive_int,
         default=64,
-        help="largest batch size for the 'batch' experiment",
+        help="largest (build) batch size for the 'batch'/'build' experiments",
     )
     p_exp.set_defaults(func=_cmd_experiment)
     return parser

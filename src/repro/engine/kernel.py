@@ -1,0 +1,428 @@
+"""The lockstep beam-search kernel (paper Alg. 2's routing loop).
+
+This is the single routing primitive behind every index scenario and
+every graph builder in the repo.  It runs the paper-faithful candidate
+loop — maintain a global candidate set of at most ``beam_width``
+vertices ranked by estimated distance; repeatedly expand the closest
+unvisited vertices, merge their unseen neighbors, re-rank, truncate —
+for ``B`` queries simultaneously.  A scalar search is simply the
+``B=1`` invocation (see :func:`repro.graphs.beam.beam_search`), so
+there is exactly one hand-maintained loop.
+
+Per query, the trajectory — and therefore the returned ids, distances,
+and counters — is bitwise identical to running the loop for that query
+alone: fresh candidates are inserted in adjacency order and re-ranked
+with the same stable sort, so ties break identically regardless of
+batch size or batch composition.
+
+Scenario policy is injected through two hooks:
+
+``expand``
+    Called once per round with the expanded frontier; returns the
+    neighbor lists.  The default reads ``adjacency`` directly; the disk
+    scenario substitutes simulated SSD page reads (which also deliver
+    the full vectors for its exact rerank) and does its per-query I/O
+    accounting inside the hook.
+``frontier_width``
+    How many of a query's closest unvisited candidates are expanded per
+    round — 1 for in-memory routing, DiskANN's ``io_width`` for the
+    hybrid scenario's pipelined reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+DistanceFn = Callable[[np.ndarray], np.ndarray]
+"""Maps an array of vertex ids to estimated distances to the query."""
+
+BatchDistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+"""Maps paired ``(query_idx, vertex_ids)`` arrays to estimated distances.
+
+``out[p]`` is the estimated distance between query ``query_idx[p]`` and
+vertex ``vertex_ids[p]`` — one fancy-indexed call scores a whole
+expansion round of the lockstep kernel.
+"""
+
+ExpandFn = Callable[[np.ndarray, List[np.ndarray]], List[np.ndarray]]
+"""Scenario expansion hook: ``(rows, frontiers) -> neighbor lists``.
+
+``rows`` are the query rows expanded this round; ``frontiers[i]`` the
+vertices expanded for ``rows[i]`` (in candidate-ranking order).  The
+hook returns one neighbor array per expanded vertex, flattened in the
+same row-major order, and may do per-row side accounting (I/O model,
+exact-distance recording) before returning.
+"""
+
+
+@dataclass
+class BeamStep:
+    """One next-hop decision: the ranked candidates and the vertex chosen.
+
+    ``candidates`` is the global candidate set *at decision time*, in
+    ascending order of estimated distance; ``chosen`` is the vertex the
+    search expanded (always the closest unvisited candidate).
+    """
+
+    chosen: int
+    candidates: np.ndarray
+    candidate_distances: np.ndarray
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one beam search."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    hops: int
+    distance_computations: int
+    visited_count: int
+    trace: Optional[List[BeamStep]] = field(default=None, repr=False)
+
+    def top_k(self, k: int) -> "SearchResult":
+        """Restrict the result list to its first ``k`` entries."""
+        return SearchResult(
+            ids=self.ids[:k],
+            distances=self.distances[:k],
+            hops=self.hops,
+            distance_computations=self.distance_computations,
+            visited_count=self.visited_count,
+            trace=self.trace,
+        )
+
+
+@dataclass
+class BatchSearchResult:
+    """Outcome of one lockstep multi-query beam search.
+
+    ``ids`` / ``distances`` are stacked ``(B, W)`` arrays; row ``b``'s
+    first ``counts[b]`` entries are valid, the remainder padded with
+    ``-1`` / ``inf``.  The per-query counters mirror
+    :class:`SearchResult`; :meth:`total_hops` and friends aggregate
+    them for throughput reporting.  ``traces`` / ``visited_lists`` are
+    populated only when the kernel was asked to record them.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    hops: np.ndarray
+    distance_computations: np.ndarray
+    visited_counts: np.ndarray
+    traces: Optional[List[List[BeamStep]]] = field(default=None, repr=False)
+    visited_lists: Optional[List[np.ndarray]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def total_hops(self) -> int:
+        return int(self.hops.sum())
+
+    @property
+    def total_distance_computations(self) -> int:
+        return int(self.distance_computations.sum())
+
+    def row(self, i: int) -> SearchResult:
+        """Query ``i``'s result as a scalar :class:`SearchResult`."""
+        c = int(self.counts[i])
+        return SearchResult(
+            ids=self.ids[i, :c].copy(),
+            distances=self.distances[i, :c].copy(),
+            hops=int(self.hops[i]),
+            distance_computations=int(self.distance_computations[i]),
+            visited_count=int(self.visited_counts[i]),
+            trace=self.traces[i] if self.traces is not None else None,
+        )
+
+    def top_k(self, k: int) -> "BatchSearchResult":
+        """Restrict every row to its first ``k`` entries."""
+        return BatchSearchResult(
+            ids=self.ids[:, :k],
+            distances=self.distances[:, :k],
+            counts=np.minimum(self.counts, k),
+            hops=self.hops,
+            distance_computations=self.distance_computations,
+            visited_counts=self.visited_counts,
+            traces=self.traces,
+            visited_lists=self.visited_lists,
+        )
+
+
+def _empty_batch_result(width: int) -> BatchSearchResult:
+    return BatchSearchResult(
+        ids=np.empty((0, width), dtype=np.int64),
+        distances=np.empty((0, width), dtype=np.float64),
+        counts=np.empty(0, dtype=np.int64),
+        hops=np.empty(0, dtype=np.int64),
+        distance_computations=np.empty(0, dtype=np.int64),
+        visited_counts=np.empty(0, dtype=np.int64),
+    )
+
+
+def execute(
+    adjacency: Sequence[np.ndarray],
+    entries: np.ndarray,
+    dist_fn: BatchDistanceFn,
+    beam_width: int,
+    k: Optional[int] = None,
+    *,
+    frontier_width: int = 1,
+    expand: Optional[ExpandFn] = None,
+    expansion_counts_distance: bool = False,
+    record_trace: bool = False,
+    collect_visited: bool = False,
+) -> BatchSearchResult:
+    """Lockstep beam search for a whole query batch.
+
+    Each round expands every still-active query's ``frontier_width``
+    closest unvisited candidates, gathers all their neighbors (via
+    ``expand`` or direct adjacency reads), scores every fresh
+    (query, vertex) pair in a single ``dist_fn`` call, and re-ranks all
+    touched candidate rows with one stable ``argsort`` over a shared
+    padded buffer.  The visited/seen sets live in two shared ``(B, n)``
+    bit-buffers allocated once per call; the candidate buffer grows on
+    demand, so no degree bound needs to be known up front.
+
+    Parameters
+    ----------
+    adjacency:
+        Per-vertex neighbor id arrays (any indexable with ``len``).
+    entries:
+        ``(B,)`` entry vertex per query (HNSW's upper-layer descent
+        yields per-query entries; flat graphs pass a constant).
+    dist_fn:
+        Paired ``(query_idx, vertex_ids) -> distances`` callback.
+    beam_width:
+        ``h`` — the size the global candidate set is truncated to after
+        each expansion round.
+    k:
+        If given, the returned lists are truncated to the best ``k``.
+    frontier_width:
+        Unvisited candidates expanded per query per round (the disk
+        scenario's ``io_width``; 1 everywhere else).
+    expand:
+        Scenario expansion hook (see :data:`ExpandFn`); ``None`` reads
+        ``adjacency`` directly.
+    expansion_counts_distance:
+        Count each expansion as one extra distance computation (the
+        hybrid scenario's exact distance per page read).
+    record_trace:
+        Record a :class:`BeamStep` per next-hop decision (the routing
+        features of paper Def. 6).  Requires ``frontier_width == 1``.
+    collect_visited:
+        Return each query's expanded-vertex set — the adjacency reads
+        its trajectory depends on, which the speculative construction
+        driver validates against graph mutations.
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    if frontier_width < 1:
+        raise ValueError("frontier_width must be >= 1")
+    if record_trace and frontier_width != 1:
+        raise ValueError("record_trace requires frontier_width == 1")
+    n = len(adjacency)
+    entries = np.asarray(entries, dtype=np.int64).reshape(-1)
+    b = entries.shape[0]
+    out_w = beam_width if k is None else min(k, beam_width)
+    if b == 0:
+        return _empty_batch_result(out_w)
+    if n == 0 or entries.min() < 0 or entries.max() >= n:
+        raise ValueError(f"entry vertices out of range [0, {n})")
+
+    cap = beam_width + 1
+    col = np.arange(cap)
+
+    # Shared per-batch workspaces (one allocation for all B queries).
+    visited = np.zeros((b, n), dtype=bool)
+    seen = np.zeros((b, n), dtype=bool)
+    cand_ids = np.zeros((b, cap), dtype=np.int64)
+    cand_d = np.full((b, cap), np.inf, dtype=np.float64)
+    counts = np.ones(b, dtype=np.int64)
+    hops = np.zeros(b, dtype=np.int64)
+    dist_comps = np.ones(b, dtype=np.int64)
+    active = np.ones(b, dtype=bool)
+    traces: Optional[List[List[BeamStep]]] = (
+        [[] for _ in range(b)] if record_trace else None
+    )
+
+    qidx = np.arange(b, dtype=np.int64)
+    cand_ids[:, 0] = entries
+    cand_d[:, 0] = np.asarray(dist_fn(qidx, entries), dtype=np.float64)
+    seen[qidx, entries] = True
+
+    while active.any():
+        act = np.flatnonzero(active)
+        sub_ids = cand_ids[act]
+        valid = col[None, :] < counts[act][:, None]
+        unvisited = valid & ~visited[act[:, None], sub_ids]
+        if frontier_width == 1:
+            sel = None
+            has_work = unvisited.any(axis=1)
+        else:
+            sel = unvisited & (
+                np.cumsum(unvisited, axis=1) <= frontier_width
+            )
+            has_work = sel.any(axis=1)
+        active[act[~has_work]] = False
+        if not has_work.any():
+            break
+        rows_local = np.flatnonzero(has_work)
+        rows = act[rows_local]
+
+        if frontier_width == 1:
+            pos = unvisited[rows_local].argmax(axis=1)
+            v_star = sub_ids[rows_local, pos]
+            if record_trace:
+                assert traces is not None
+                for r, v in zip(rows, v_star):
+                    c = int(counts[r])
+                    traces[r].append(
+                        BeamStep(
+                            chosen=int(v),
+                            candidates=cand_ids[r, :c].copy(),
+                            candidate_distances=cand_d[r, :c].copy(),
+                        )
+                    )
+            visited[rows, v_star] = True
+            hops[rows] += 1
+            if expansion_counts_distance:
+                dist_comps[rows] += 1
+            if expand is None:
+                nbr_lists = [
+                    np.asarray(adjacency[int(v)], dtype=np.int64)
+                    for v in v_star
+                ]
+            else:
+                frontiers = [
+                    np.array([v], dtype=np.int64) for v in v_star
+                ]
+                nbr_lists = expand(rows, frontiers)
+            # Freshness is independent across rows (one vertex each),
+            # so one vectorized pass covers the whole round.
+            lens = np.array([nb.size for nb in nbr_lists], dtype=np.int64)
+            if not lens.any():
+                continue
+            flat_nbrs = np.concatenate(nbr_lists).astype(
+                np.int64, copy=False
+            )
+            flat_q = np.repeat(rows, lens)
+            fresh_mask = ~seen[flat_q, flat_nbrs]
+            fq = flat_q[fresh_mask]
+            fv = flat_nbrs[fresh_mask]
+            if not fq.size:
+                continue
+            seen[fq, fv] = True
+        else:
+            frontiers = [
+                sub_ids[rl][sel[rl]] for rl in rows_local
+            ]
+            flat_f = np.concatenate(frontiers)
+            flat_r = np.repeat(
+                rows, [f.size for f in frontiers]
+            )
+            visited[flat_r, flat_f] = True
+            round_hops = np.bincount(flat_r, minlength=b)
+            hops += round_hops
+            if expansion_counts_distance:
+                dist_comps += round_hops
+            if expand is None:
+                nbr_lists = [
+                    np.asarray(adjacency[int(v)], dtype=np.int64)
+                    for v in flat_f
+                ]
+            else:
+                nbr_lists = expand(rows, frontiers)
+            # Freshness is sequential within a query's frontier (later
+            # members see earlier members' neighbors as seen) — the
+            # per-query loop's semantics.
+            fq_parts: List[np.ndarray] = []
+            fv_parts: List[np.ndarray] = []
+            for r, neighbors in zip(flat_r, nbr_lists):
+                if not neighbors.size:
+                    continue
+                fresh = neighbors[~seen[r, neighbors]]
+                if fresh.size:
+                    seen[r, fresh] = True
+                    fq_parts.append(np.full(fresh.size, r, dtype=np.int64))
+                    fv_parts.append(fresh.astype(np.int64, copy=False))
+            if not fq_parts:
+                continue
+            fq = np.concatenate(fq_parts)
+            fv = np.concatenate(fv_parts)
+
+        fd = np.asarray(dist_fn(fq, fv), dtype=np.float64)
+        fresh_counts = np.bincount(fq, minlength=b)
+        dist_comps += fresh_counts
+
+        # Append each query's fresh candidates after its current tail,
+        # preserving adjacency order (ties then break as in a scalar
+        # candidate list's extend), growing the buffer when a round
+        # delivers more neighbors than it currently fits.
+        within = np.arange(fq.size) - np.searchsorted(fq, fq, side="left")
+        dest = counts[fq] + within
+        need = int(dest.max()) + 1
+        if need > cap:
+            grow = max(need, 2 * cap) - cap
+            cand_ids = np.pad(cand_ids, ((0, 0), (0, grow)))
+            cand_d = np.pad(
+                cand_d, ((0, 0), (0, grow)), constant_values=np.inf
+            )
+            cap += grow
+            col = np.arange(cap)
+        cand_ids[fq, dest] = fv
+        cand_d[fq, dest] = fd
+        counts += fresh_counts
+
+        # Re-rank and truncate only the rows that gained candidates
+        # (fq is sorted, so its boundaries give them directly), and
+        # only over the occupied prefix — everything past it is
+        # inf-padding that a stable sort would keep in place anyway.
+        touched = fq[np.concatenate(([True], fq[1:] != fq[:-1]))]
+        upto = int(counts[touched].max())
+        trow = touched[:, None]
+        sub_d = cand_d[trow, col[None, :upto]]
+        order = np.argsort(sub_d, axis=1, kind="stable")
+        srow = np.arange(touched.size)[:, None]
+        cand_d[trow, col[None, :upto]] = sub_d[srow, order]
+        cand_ids[trow, col[None, :upto]] = cand_ids[
+            trow, col[None, :upto]
+        ][srow, order]
+        new_counts = np.minimum(counts[touched], beam_width)
+        counts[touched] = new_counts
+        dropped_cols = col[None, :upto] >= new_counts[:, None]
+        if dropped_cols.any():
+            sub_d = cand_d[trow, col[None, :upto]]
+            sub_i = cand_ids[trow, col[None, :upto]]
+            sub_d[dropped_cols] = np.inf
+            sub_i[dropped_cols] = 0
+            cand_d[trow, col[None, :upto]] = sub_d
+            cand_ids[trow, col[None, :upto]] = sub_i
+
+    take = np.minimum(counts, out_w)
+    keep = col[None, :out_w] < take[:, None]
+    ids_out = np.full((b, out_w), -1, dtype=np.int64)
+    dists_out = np.full((b, out_w), np.inf, dtype=np.float64)
+    ids_out[keep] = cand_ids[:, :out_w][keep]
+    dists_out[keep] = cand_d[:, :out_w][keep]
+    return BatchSearchResult(
+        ids=ids_out,
+        distances=dists_out,
+        counts=take,
+        hops=hops,
+        distance_computations=dist_comps,
+        visited_counts=hops.copy(),
+        traces=traces,
+        visited_lists=(
+            [np.flatnonzero(visited[i]) for i in range(b)]
+            if collect_visited
+            else None
+        ),
+    )

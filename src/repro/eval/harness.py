@@ -433,6 +433,99 @@ def run_batch_throughput(
 
 
 # ----------------------------------------------------------------------
+# Lockstep-construction throughput (sequential vs batched builds)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BuildThroughputPoint:
+    """Sequential-vs-lockstep build time at one build batch size."""
+
+    graph_kind: str
+    build_batch_size: int
+    sequential_seconds: float
+    batched_seconds: float
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_seconds / max(self.batched_seconds, 1e-12)
+
+
+def graphs_identical(a, b) -> bool:
+    """Byte-identical adjacency (and HNSW upper layers / entry)."""
+    if a.num_vertices != b.num_vertices or a.entry_point != b.entry_point:
+        return False
+    if not all(
+        np.array_equal(na, nb) for na, nb in zip(a.adjacency, b.adjacency)
+    ):
+        return False
+    a_upper = getattr(a, "upper_layers", [])
+    b_upper = getattr(b, "upper_layers", [])
+    if len(a_upper) != len(b_upper):
+        return False
+    for la, lb in zip(a_upper, b_upper):
+        if set(la) != set(lb):
+            return False
+        if not all(np.array_equal(la[v], lb[v]) for v in la):
+            return False
+    return True
+
+
+def run_build_throughput(
+    graph_kind: str = "vamana",
+    dataset_name: str = "sift",
+    batch_sizes: Sequence[int] = (8, 32, 64),
+    n_base: int = 2000,
+    seed: int = 0,
+) -> List[BuildThroughputPoint]:
+    """Measure the lockstep builders' speedup over sequential insertion.
+
+    Builds the graph once with ``build_batch_size=1`` (strictly
+    sequential construction-time searches) and once per batched size,
+    verifying that every batched build is byte-identical to the
+    sequential one — the speculative driver only changes *when*
+    searches run, never the produced graph.
+    """
+    builders = {
+        "vamana": lambda bs: build_vamana(
+            x, r=16, search_l=40, seed=seed, build_batch_size=bs
+        ),
+        "hnsw": lambda bs: build_hnsw(
+            x, m=8, ef_construction=48, seed=seed, build_batch_size=bs
+        ),
+        "nsg": lambda bs: build_nsg(
+            x, knn_k=16, r=16, search_l=40, seed=seed, build_batch_size=bs
+        ),
+    }
+    if graph_kind not in builders:
+        raise KeyError(f"unknown graph kind {graph_kind!r}")
+    dataset = load(dataset_name, n_base=n_base, n_queries=1, seed=seed)
+    x = dataset.base
+    build = builders[graph_kind]
+
+    start = time.perf_counter()
+    reference = build(1)
+    sequential_seconds = time.perf_counter() - start
+
+    points: List[BuildThroughputPoint] = []
+    for batch_size in batch_sizes:
+        start = time.perf_counter()
+        graph = build(int(batch_size))
+        batched_seconds = time.perf_counter() - start
+        points.append(
+            BuildThroughputPoint(
+                graph_kind=graph_kind,
+                build_batch_size=int(batch_size),
+                sequential_seconds=sequential_seconds,
+                batched_seconds=batched_seconds,
+                identical=graphs_identical(reference, graph),
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
 # Tables 4-5 — training time and model size
 # ----------------------------------------------------------------------
 

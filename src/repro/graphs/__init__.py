@@ -3,10 +3,10 @@
 * :func:`build_hnsw` / :class:`HNSW` — hierarchical NSW [48].
 * :func:`build_nsg` — navigating spreading-out graph [26].
 * :func:`build_vamana` — DiskANN's graph [36]; :func:`robust_prune`.
-* :func:`beam_search` — the routing loop (paper Alg. 2);
-  :class:`SearchResult`, :class:`BeamStep`.
-* :func:`beam_search_batch` — the lockstep multi-query routing kernel;
-  :class:`BatchSearchResult`.
+* :func:`beam_search` / :func:`beam_search_batch` — entries into the
+  shared lockstep kernel (:mod:`repro.engine.kernel`; the scalar call
+  is the ``B=1`` case); :class:`SearchResult`,
+  :class:`BatchSearchResult`, :class:`BeamStep`.
 * :class:`ProximityGraph` — shared container (paper Def. 2).
 * :func:`exact_knn` — blocked brute-force kNN.
 """
@@ -22,6 +22,7 @@ from .beam import (
     beam_search_batch,
     exact_distance_fn,
     greedy_search,
+    greedy_search_with_path,
 )
 from .hnsw import HNSW, build_hnsw
 from .knn_graph import exact_knn, knn_graph_adjacency
@@ -34,6 +35,7 @@ __all__ = [
     "beam_search",
     "beam_search_batch",
     "greedy_search",
+    "greedy_search_with_path",
     "exact_distance_fn",
     "BeamStep",
     "SearchResult",

@@ -127,6 +127,7 @@ class ProximityGraph:
         num_queries: int,
         k: Optional[int] = None,
         entries: Optional[np.ndarray] = None,
+        collect_visited: bool = False,
     ) -> BatchSearchResult:
         """Lockstep beam-search routing for ``num_queries`` queries.
 
@@ -150,6 +151,7 @@ class ProximityGraph:
             dist_fn,
             beam_width,
             k=k,
+            collect_visited=collect_visited,
         )
 
     def n_hop_neighborhood(self, vertex: int, hops: int) -> np.ndarray:

@@ -1,73 +1,52 @@
 """Beam search over a proximity graph (paper Alg. 2's routing loop).
 
-This is the single routing primitive shared by every index in the repo:
-graph construction (searching the partially built graph), full-precision
-search, PQ-integrated ADC search, and routing-feature extraction all call
-:func:`beam_search` with a different distance callback.
-
-The loop is the paper-faithful variant: maintain a global candidate set
-``b`` of at most ``beam_width`` vertices ranked by estimated distance;
-repeatedly expand the closest unvisited vertex ``v*``, merge its unseen
-neighbors, re-rank, and truncate — until every vertex in ``b`` has been
-visited.  Each expansion is one "hop" (the paper's supplementary
-efficiency metric) and, when tracing is enabled, one routing-feature
-record ``b_i`` (Def. 6).
+This module is the graph-level face of the shared execution engine:
+:func:`beam_search` and :func:`beam_search_batch` are thin entries into
+the single lockstep kernel in :mod:`repro.engine.kernel` — the scalar
+call is literally the ``B=1`` invocation, so there is exactly one
+routing loop in the repo.  Graph construction, full-precision search,
+PQ-integrated ADC search, and routing-feature extraction all come
+through here with a different distance callback.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-DistanceFn = Callable[[np.ndarray], np.ndarray]
-"""Maps an array of vertex ids to estimated distances to the query."""
+from ..engine.kernel import (
+    BatchDistanceFn,
+    BatchSearchResult,
+    BeamStep,
+    DistanceFn,
+    SearchResult,
+    execute,
+)
 
-BatchDistanceFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
-"""Maps paired ``(query_idx, vertex_ids)`` arrays to estimated distances.
-
-``out[p]`` is the estimated distance between query ``query_idx[p]`` and
-vertex ``vertex_ids[p]`` — one fancy-indexed call scores a whole
-expansion round of the lockstep kernel.
-"""
-
-
-@dataclass
-class BeamStep:
-    """One next-hop decision: the ranked candidates and the vertex chosen.
-
-    ``candidates`` is the global candidate set *at decision time*, in
-    ascending order of estimated distance; ``chosen`` is the vertex the
-    search expanded (always the closest unvisited candidate).
-    """
-
-    chosen: int
-    candidates: np.ndarray
-    candidate_distances: np.ndarray
+__all__ = [
+    "BatchDistanceFn",
+    "BatchSearchResult",
+    "BeamStep",
+    "DistanceFn",
+    "SearchResult",
+    "beam_search",
+    "beam_search_batch",
+    "exact_distance_fn",
+    "greedy_search",
+    "greedy_search_with_path",
+    "singleton_dist_fn",
+]
 
 
-@dataclass
-class SearchResult:
-    """Outcome of one beam search."""
+def singleton_dist_fn(dist_fn: DistanceFn) -> BatchDistanceFn:
+    """Adapt a scalar distance callback to the kernel's paired form."""
 
-    ids: np.ndarray
-    distances: np.ndarray
-    hops: int
-    distance_computations: int
-    visited_count: int
-    trace: Optional[List[BeamStep]] = field(default=None, repr=False)
+    def fn(query_idx: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+        del query_idx  # single query — every pair belongs to it
+        return np.atleast_1d(np.asarray(dist_fn(vertex_ids)))
 
-    def top_k(self, k: int) -> "SearchResult":
-        """Restrict the result list to its first ``k`` entries."""
-        return SearchResult(
-            ids=self.ids[:k],
-            distances=self.distances[:k],
-            hops=self.hops,
-            distance_computations=self.distance_computations,
-            visited_count=self.visited_count,
-            trace=self.trace,
-        )
+    return fn
 
 
 def beam_search(
@@ -79,6 +58,8 @@ def beam_search(
     record_trace: bool = False,
 ) -> SearchResult:
     """Route over ``adjacency`` from ``entry`` toward the query.
+
+    The ``B=1`` case of the lockstep kernel (one query, one entry).
 
     Parameters
     ----------
@@ -99,141 +80,18 @@ def beam_search(
         Record a :class:`BeamStep` per next-hop decision (the routing
         features of Def. 6).
     """
-    if beam_width < 1:
-        raise ValueError("beam_width must be >= 1")
     n = len(adjacency)
     if not 0 <= entry < n:
         raise ValueError(f"entry vertex {entry} out of range [0, {n})")
-
-    visited = np.zeros(n, dtype=bool)  # expanded vertices
-    seen = np.zeros(n, dtype=bool)  # vertices whose distance is known
-
-    entry_dist = float(np.asarray(dist_fn(np.array([entry], dtype=np.int64)))[0])
-    ids: List[int] = [entry]
-    dists: List[float] = [entry_dist]
-    seen[entry] = True
-
-    hops = 0
-    dist_comps = 1
-    trace: Optional[List[BeamStep]] = [] if record_trace else None
-
-    while True:
-        chosen_pos = -1
-        for pos, vertex in enumerate(ids):
-            if not visited[vertex]:
-                chosen_pos = pos
-                break
-        if chosen_pos < 0:
-            break
-
-        v_star = ids[chosen_pos]
-        if record_trace:
-            assert trace is not None
-            trace.append(
-                BeamStep(
-                    chosen=v_star,
-                    candidates=np.array(ids, dtype=np.int64),
-                    candidate_distances=np.array(dists, dtype=np.float64),
-                )
-            )
-        visited[v_star] = True
-        hops += 1
-
-        neighbors = np.asarray(adjacency[v_star], dtype=np.int64)
-        if neighbors.size:
-            fresh = neighbors[~seen[neighbors]]
-        else:
-            fresh = neighbors
-        if fresh.size:
-            seen[fresh] = True
-            fresh_d = np.asarray(dist_fn(fresh), dtype=np.float64)
-            dist_comps += fresh.size
-            ids.extend(int(v) for v in fresh)
-            dists.extend(float(d) for d in fresh_d)
-            if len(ids) > beam_width:
-                order = np.argsort(dists, kind="stable")[:beam_width]
-                ids = [ids[i] for i in order]
-                dists = [dists[i] for i in order]
-            else:
-                order = np.argsort(dists, kind="stable")
-                ids = [ids[i] for i in order]
-                dists = [dists[i] for i in order]
-
-    result = SearchResult(
-        ids=np.array(ids, dtype=np.int64),
-        distances=np.array(dists, dtype=np.float64),
-        hops=hops,
-        distance_computations=dist_comps,
-        visited_count=int(visited.sum()),
-        trace=trace,
+    result = execute(
+        adjacency,
+        np.array([entry], dtype=np.int64),
+        singleton_dist_fn(dist_fn),
+        beam_width,
+        k=k,
+        record_trace=record_trace,
     )
-    if k is not None:
-        result = result.top_k(k)
-    return result
-
-
-@dataclass
-class BatchSearchResult:
-    """Outcome of one lockstep multi-query beam search.
-
-    ``ids`` / ``distances`` are stacked ``(B, W)`` arrays; row ``b``'s
-    first ``counts[b]`` entries are valid, the remainder padded with
-    ``-1`` / ``inf``.  The per-query counters mirror
-    :class:`SearchResult`; :meth:`total_hops` and friends aggregate
-    them for throughput reporting.
-    """
-
-    ids: np.ndarray
-    distances: np.ndarray
-    counts: np.ndarray
-    hops: np.ndarray
-    distance_computations: np.ndarray
-    visited_counts: np.ndarray
-
-    @property
-    def num_queries(self) -> int:
-        return self.ids.shape[0]
-
-    @property
-    def total_hops(self) -> int:
-        return int(self.hops.sum())
-
-    @property
-    def total_distance_computations(self) -> int:
-        return int(self.distance_computations.sum())
-
-    def row(self, i: int) -> SearchResult:
-        """Query ``i``'s result as a scalar :class:`SearchResult`."""
-        c = int(self.counts[i])
-        return SearchResult(
-            ids=self.ids[i, :c].copy(),
-            distances=self.distances[i, :c].copy(),
-            hops=int(self.hops[i]),
-            distance_computations=int(self.distance_computations[i]),
-            visited_count=int(self.visited_counts[i]),
-        )
-
-    def top_k(self, k: int) -> "BatchSearchResult":
-        """Restrict every row to its first ``k`` entries."""
-        return BatchSearchResult(
-            ids=self.ids[:, :k],
-            distances=self.distances[:, :k],
-            counts=np.minimum(self.counts, k),
-            hops=self.hops,
-            distance_computations=self.distance_computations,
-            visited_counts=self.visited_counts,
-        )
-
-
-def _empty_batch_result(width: int) -> BatchSearchResult:
-    return BatchSearchResult(
-        ids=np.empty((0, width), dtype=np.int64),
-        distances=np.empty((0, width), dtype=np.float64),
-        counts=np.empty(0, dtype=np.int64),
-        hops=np.empty(0, dtype=np.int64),
-        distance_computations=np.empty(0, dtype=np.int64),
-        visited_counts=np.empty(0, dtype=np.int64),
-    )
+    return result.row(0)
 
 
 def beam_search_batch(
@@ -242,138 +100,21 @@ def beam_search_batch(
     dist_fn: BatchDistanceFn,
     beam_width: int,
     k: Optional[int] = None,
+    collect_visited: bool = False,
 ) -> BatchSearchResult:
     """Lockstep beam search for a whole query batch.
 
-    Runs the exact per-query loop of :func:`beam_search` for ``B``
-    queries simultaneously: each round expands every still-active
-    query's closest unvisited candidate, gathers all their neighbors
-    with one concatenation, scores every fresh (query, vertex) pair in
-    a single ``dist_fn`` call, and re-ranks all touched candidate rows
-    with one stable ``argsort`` over a shared padded buffer.  The
-    visited/seen sets live in two shared ``(B, n)`` bit-buffers
-    allocated once per call.
-
-    Per query, the trajectory — and therefore the returned ids,
-    distances, and counters — is bitwise identical to calling
-    :func:`beam_search` with the matching scalar distance callback:
-    both paths insert fresh candidates in adjacency order and re-rank
-    with the same stable sort, so ties break identically.
-
-    Parameters
-    ----------
-    adjacency:
-        Per-vertex neighbor id arrays.
-    entries:
-        ``(B,)`` entry vertex per query (HNSW's upper-layer descent
-        yields per-query entries; flat graphs pass a constant).
-    dist_fn:
-        Paired ``(query_idx, vertex_ids) -> distances`` callback.
-    beam_width, k:
-        As in :func:`beam_search`.
+    Direct entry into :func:`repro.engine.kernel.execute`; row ``b`` is
+    bitwise identical to :func:`beam_search` with the matching scalar
+    distance callback.
     """
-    if beam_width < 1:
-        raise ValueError("beam_width must be >= 1")
-    n = len(adjacency)
-    entries = np.asarray(entries, dtype=np.int64).reshape(-1)
-    b = entries.shape[0]
-    out_w = beam_width if k is None else min(k, beam_width)
-    if b == 0:
-        return _empty_batch_result(out_w)
-    if n == 0 or entries.min() < 0 or entries.max() >= n:
-        raise ValueError(f"entry vertices out of range [0, {n})")
-
-    max_degree = max((len(nbrs) for nbrs in adjacency), default=0)
-    cap = beam_width + max(max_degree, 1)
-    col = np.arange(cap)
-
-    # Shared per-batch workspaces (one allocation for all B queries).
-    visited = np.zeros((b, n), dtype=bool)
-    seen = np.zeros((b, n), dtype=bool)
-    cand_ids = np.zeros((b, cap), dtype=np.int64)
-    cand_d = np.full((b, cap), np.inf, dtype=np.float64)
-    counts = np.ones(b, dtype=np.int64)
-    hops = np.zeros(b, dtype=np.int64)
-    dist_comps = np.ones(b, dtype=np.int64)
-    active = np.ones(b, dtype=bool)
-
-    qidx = np.arange(b, dtype=np.int64)
-    cand_ids[:, 0] = entries
-    cand_d[:, 0] = np.asarray(dist_fn(qidx, entries), dtype=np.float64)
-    seen[qidx, entries] = True
-
-    while active.any():
-        act = np.flatnonzero(active)
-        sub_ids = cand_ids[act]
-        valid = col[None, :] < counts[act][:, None]
-        unvisited = valid & ~visited[act[:, None], sub_ids]
-        has_work = unvisited.any(axis=1)
-        active[act[~has_work]] = False
-        if not has_work.any():
-            break
-        rows = act[has_work]
-        pos = unvisited[has_work].argmax(axis=1)
-        v_star = sub_ids[has_work, pos]
-        visited[rows, v_star] = True
-        hops[rows] += 1
-
-        nbr_lists = [
-            np.asarray(adjacency[int(v)], dtype=np.int64) for v in v_star
-        ]
-        lens = np.array([nbrs.size for nbrs in nbr_lists], dtype=np.int64)
-        if not lens.any():
-            continue
-        flat_nbrs = np.concatenate(nbr_lists).astype(np.int64, copy=False)
-        flat_q = np.repeat(rows, lens)
-        fresh_mask = ~seen[flat_q, flat_nbrs]
-        fq = flat_q[fresh_mask]
-        fv = flat_nbrs[fresh_mask]
-        if not fq.size:
-            continue
-        seen[fq, fv] = True
-        fd = np.asarray(dist_fn(fq, fv), dtype=np.float64)
-        dist_comps += np.bincount(fq, minlength=b)
-
-        # Append each query's fresh candidates after its current tail,
-        # preserving adjacency order (ties then break as in the scalar
-        # loop's list.extend).
-        within = np.arange(fq.size) - np.searchsorted(fq, fq, side="left")
-        dest = counts[fq] + within
-        cand_ids[fq, dest] = fv
-        cand_d[fq, dest] = fd
-        counts += np.bincount(fq, minlength=b)
-
-        # Re-rank and truncate only the rows that gained candidates.
-        touched = np.unique(fq)
-        sub_d = cand_d[touched]
-        order = np.argsort(sub_d, axis=1, kind="stable")
-        cand_d[touched] = np.take_along_axis(sub_d, order, axis=1)
-        cand_ids[touched] = np.take_along_axis(
-            cand_ids[touched], order, axis=1
-        )
-        new_counts = np.minimum(counts[touched], beam_width)
-        counts[touched] = new_counts
-        dropped = col[None, :] >= new_counts[:, None]
-        sub_d = cand_d[touched]
-        sub_i = cand_ids[touched]
-        sub_d[dropped] = np.inf
-        sub_i[dropped] = 0
-        cand_d[touched] = sub_d
-        cand_ids[touched] = sub_i
-
-    take = np.minimum(counts, out_w)
-    keep = col[None, :out_w] < take[:, None]
-    ids_out = np.full((b, out_w), -1, dtype=np.int64)
-    dists_out = np.full((b, out_w), np.inf, dtype=np.float64)
-    ids_out[keep] = cand_ids[:, :out_w][keep]
-    dists_out[keep] = cand_d[:, :out_w][keep]
-    return BatchSearchResult(
-        ids=ids_out,
-        distances=dists_out,
-        counts=take,
-        hops=hops,
-        distance_computations=dist_comps,
-        visited_counts=hops.copy(),
+    return execute(
+        adjacency,
+        entries,
+        dist_fn,
+        beam_width,
+        k=k,
+        collect_visited=collect_visited,
     )
 
 
@@ -387,8 +128,22 @@ def greedy_search(
     Used by HNSW's upper layers to locate the entry point for the base
     layer.
     """
+    return greedy_search_with_path(adjacency, entry, dist_fn)[0]
+
+
+def greedy_search_with_path(
+    adjacency: Sequence[np.ndarray],
+    entry: int,
+    dist_fn: DistanceFn,
+) -> Tuple[int, List[int]]:
+    """Greedy descent that also reports every vertex whose adjacency it
+    read — the chain of expanded vertices, used by the speculative
+    construction driver to validate cached descents."""
     current = entry
-    current_d = float(np.asarray(dist_fn(np.array([current], dtype=np.int64)))[0])
+    current_d = float(
+        np.asarray(dist_fn(np.array([current], dtype=np.int64)))[0]
+    )
+    path = [current]
     improved = True
     while improved:
         improved = False
@@ -400,8 +155,9 @@ def greedy_search(
         if nd[best] < current_d:
             current = int(neighbors[best])
             current_d = float(nd[best])
+            path.append(current)
             improved = True
-    return current
+    return current, path
 
 
 def exact_distance_fn(x: np.ndarray, query: np.ndarray) -> DistanceFn:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine import lockstep_apply
 from .base import ProximityGraph
 from .beam import (
     BatchDistanceFn,
@@ -28,6 +29,8 @@ from .beam import (
     beam_search,
     beam_search_batch,
     greedy_search,
+    greedy_search_with_path,
+    singleton_dist_fn,
 )
 
 
@@ -98,6 +101,7 @@ class HNSW(ProximityGraph):
         num_queries: int,
         k: Optional[int] = None,
         entries: Optional[np.ndarray] = None,
+        collect_visited: bool = False,
     ) -> "BatchSearchResult":
         """Per-query upper-layer descent, then one lockstep base beam.
 
@@ -128,6 +132,7 @@ class HNSW(ProximityGraph):
             dist_fn,
             beam_width,
             k=k,
+            collect_visited=collect_visited,
         )
 
 
@@ -163,8 +168,19 @@ def build_hnsw(
     m: int = 16,
     ef_construction: int = 100,
     seed: Optional[int] = 0,
+    build_batch_size: int = 32,
 ) -> HNSW:
     """Construct an HNSW graph over the rows of ``x``.
+
+    The per-point layer searches run in speculative lockstep windows of
+    ``build_batch_size`` (see :mod:`repro.engine.construction`): each
+    point's upper-layer descent and searches are computed against a
+    graph snapshot while its dominant base-layer ``ef_construction``
+    search joins one lockstep kernel call for the whole window; a
+    cached pipeline is reused only if nothing it read — upper-layer
+    adjacency, base adjacency, or the entry point — changed before the
+    point's strictly-ordered insertion, so the graph is bitwise
+    identical to ``build_batch_size=1`` (sequential insertion).
 
     Parameters
     ----------
@@ -176,6 +192,8 @@ def build_hnsw(
         Beam width used while inserting points.
     seed:
         Level-sampling seed.
+    build_batch_size:
+        Lockstep window of the construction-time searches.
     """
     x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
     n = x.shape[0]
@@ -193,42 +211,172 @@ def build_hnsw(
     entry_point = 0
     max_level = int(levels[0])
 
+    # Mutation log for the speculative driver: per-vertex last-modified
+    # apply number for the base layer and each upper layer, plus the
+    # apply number of the last entry-point/max-level change.
+    base_mod = np.full(n, -1, dtype=np.int64)
+    upper_mod: List[Dict[int, int]] = []
+    entry_epoch = -1
+    epoch = 0
+
     def layer_adj(level: int):
         if level == 0:
             return base
         return _BuildLayerView(upper[level - 1], n)
 
-    def search_layer(query: np.ndarray, start: int, level: int, ef: int):
-        dist_fn = _point_distance_fn(x, query)
-        result = beam_search(layer_adj(level), start, dist_fn, ef)
-        return list(result.ids), list(result.distances)
+    # The upper-layer phase (descents + upper ef searches) is cached
+    # separately from the base search: upper layers mutate ~log(m)
+    # times less often than the base layer, so when a base search is
+    # invalidated its point's upper chain usually survives and only
+    # the base search is redone.
+    upper_cache: Dict[int, dict] = {}
 
-    for i in range(n):
+    def upper_reads_valid(part) -> bool:
+        if entry_epoch >= part["epoch"]:
+            return False
+        stamp = part["epoch"]
+        for lvl, verts in part["reads"]:
+            mod = upper_mod[lvl - 1] if lvl - 1 < len(upper_mod) else {}
+            if any(mod.get(int(v), -1) >= stamp for v in verts):
+                return False
+        return True
+
+    def batch_search(points):
+        """Speculative search pipelines for ``points`` on the current
+        graph: scalar upper-layer work (tiny sparse layers, and only
+        ~1/log(m) of points have upper levels), then one lockstep
+        base-layer search for the whole window."""
+        payloads = []
+        base_entries = np.empty(len(points), dtype=np.int64)
+
+        def snapshot_layer(lvl: int):
+            # A layer the sequential builder would have materialized as
+            # an empty dict may not exist yet at snapshot time; an
+            # empty view routes identically.
+            if lvl - 1 < len(upper):
+                return layer_adj(lvl)
+            return _BuildLayerView({}, n)
+
+        def upper_phase(i: int) -> dict:
+            cached = upper_cache.get(i)
+            if cached is not None and upper_reads_valid(cached):
+                return cached
+            level = int(levels[i])
+            dist_fn = _point_distance_fn(x, x[i])
+            start = entry_point
+            reads = []  # (layer, vertices whose adjacency was read)
+            # Descend layers above the new point's level greedily.
+            for lvl in range(max_level, level, -1):
+                if lvl > len(upper):
+                    continue
+                start, path = greedy_search_with_path(
+                    layer_adj(lvl), start, dist_fn
+                )
+                reads.append((lvl, np.array(path, dtype=np.int64)))
+            # Upper-layer ef searches (results are linked at apply time).
+            upper_results = []
+            for lvl in range(min(level, max_level), 0, -1):
+                result = beam_search_batch(
+                    snapshot_layer(lvl),
+                    np.array([start], dtype=np.int64),
+                    singleton_dist_fn(dist_fn),
+                    ef_construction,
+                    collect_visited=True,
+                )
+                assert result.visited_lists is not None
+                cand_ids = list(result.row(0).ids)
+                cand_d = list(result.row(0).distances)
+                reads.append((lvl, result.visited_lists[0]))
+                upper_results.append((lvl, cand_ids, cand_d))
+                start = cand_ids[0] if cand_ids else start
+            part = {
+                "epoch": epoch,
+                "reads": reads,
+                "upper_results": upper_results,
+                "base_entry": int(start),
+            }
+            upper_cache[i] = part
+            return part
+
+        for t, i in enumerate(points):
+            if i == 0:
+                payloads.append({"first": True})
+                base_entries[t] = entry_point
+                continue
+            part = upper_phase(i)
+            base_entries[t] = part["base_entry"]
+            payloads.append(
+                {
+                    "first": False,
+                    "epoch": epoch,
+                    "upper": part,
+                }
+            )
+
+        sub = [t for t, i in enumerate(points) if i != 0]
+        if sub:
+            queries = x[np.array([points[t] for t in sub], dtype=np.int64)]
+
+            def dist_fn_batch(qidx: np.ndarray, vertex_ids: np.ndarray):
+                diff = x[vertex_ids] - queries[qidx]
+                return np.einsum("ij,ij->i", diff, diff)
+
+            result = beam_search_batch(
+                base,
+                base_entries[np.array(sub, dtype=np.int64)],
+                dist_fn_batch,
+                ef_construction,
+                collect_visited=True,
+            )
+            assert result.visited_lists is not None
+            for pos, t in enumerate(sub):
+                row = result.row(pos)
+                payloads[t]["base_ids"] = list(row.ids)
+                payloads[t]["base_d"] = list(row.distances)
+                payloads[t]["base_visited"] = result.visited_lists[pos]
+        return payloads
+
+    def is_valid(payload) -> bool:
+        if payload["first"]:
+            return True
+        if not upper_reads_valid(payload["upper"]):
+            return False
+        return not (
+            base_mod[payload["base_visited"]] >= payload["epoch"]
+        ).any()
+
+    def apply(i: int, payload) -> None:
+        nonlocal entry_point, max_level, entry_epoch, epoch
         level = int(levels[i])
         while len(upper) < level:
             upper.append({})
+            upper_mod.append({})
         if i == 0:
             max_level = level
             entry_point = 0
-            continue
+            epoch += 1
+            return
 
-        query = x[i]
-        start = entry_point
-        dist_fn = _point_distance_fn(x, query)
-        # Descend layers above the new point's level greedily.
-        for lvl in range(max_level, level, -1):
-            if lvl > len(upper):
-                continue
-            start = greedy_search(layer_adj(lvl), start, dist_fn)
+        def mark(lvl: int, vertex: int) -> None:
+            if lvl == 0:
+                base_mod[vertex] = epoch
+            else:
+                upper_mod[lvl - 1][vertex] = epoch
 
-        # Insert at each layer from min(level, max_level) down to 0.
-        for lvl in range(min(level, max_level), -1, -1):
-            cand_ids, cand_d = search_layer(query, start, lvl, ef_construction)
+        upper_cache.pop(i, None)
+        # Link at each layer from min(level, max_level) down to 0 using
+        # the validated search results (exactly the sequential order).
+        layer_results = list(payload["upper"]["upper_results"]) + [
+            (0, payload["base_ids"], payload["base_d"])
+        ]
+        for lvl, cand_ids, cand_d in layer_results:
             cap = m_base if lvl == 0 else m
             chosen = _select_neighbors_heuristic(x, cand_ids, cand_d, m)
             _set_neighbors(layer_adj(lvl), i, chosen)
+            mark(lvl, i)
             for c in chosen:
                 _append_neighbor(layer_adj(lvl), c, i)
+                mark(lvl, c)
                 current = _get_neighbors(layer_adj(lvl), c)
                 if len(current) > cap:
                     d = [
@@ -236,11 +384,15 @@ def build_hnsw(
                     ]
                     pruned = _select_neighbors_heuristic(x, current, d, cap)
                     _set_neighbors(layer_adj(lvl), c, pruned)
-            start = cand_ids[0] if cand_ids else start
+                    mark(lvl, c)
 
         if level > max_level:
             max_level = level
             entry_point = i
+            entry_epoch = epoch
+        epoch += 1
+
+    lockstep_apply(n, batch_search, is_valid, apply, build_batch_size)
 
     graph = HNSW(
         adjacency=[np.array(nbrs, dtype=np.int64) for nbrs in base],

@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from .base import ProximityGraph, medoid
-from .beam import beam_search
+from .beam import beam_search, beam_search_batch
 from .hnsw import _point_distance_fn
 from .knn_graph import exact_knn
 
@@ -77,8 +77,15 @@ def build_nsg(
     r: int = 32,
     search_l: int = 64,
     seed: Optional[int] = 0,
+    build_batch_size: int = 32,
 ) -> ProximityGraph:
     """Construct an NSG over the rows of ``x``.
+
+    The candidate-gathering searches all run against the *static*
+    bootstrap kNN graph, so — unlike Vamana/HNSW insertion — they
+    batch trivially: ``build_batch_size`` of them share each lockstep
+    kernel call with no validation needed, and the result is bitwise
+    identical to searching one point at a time.
 
     Parameters
     ----------
@@ -93,7 +100,11 @@ def build_nsg(
     seed:
         Reserved for interface symmetry (NSG construction here is
         deterministic given the data).
+    build_batch_size:
+        Lockstep window of the candidate-gathering searches.
     """
+    if build_batch_size < 1:
+        raise ValueError("build_batch_size must be >= 1")
     del seed  # deterministic build
     x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
     n = x.shape[0]
@@ -119,11 +130,24 @@ def build_nsg(
     knn_adj = [knn_idx[i][:knn_k] for i in range(n)]
 
     adjacency: List[List[int]] = []
-    for i in range(n):
-        dist_fn = _point_distance_fn(x, x[i])
-        result = beam_search(knn_adj, navigating, dist_fn, min(search_l, 24))
-        candidates = list(knn_idx[i]) + list(result.ids)
-        adjacency.append(_mrng_select(x, i, candidates, r))
+    beam = min(search_l, 24)
+    for start in range(0, n, build_batch_size):
+        points = np.arange(start, min(start + build_batch_size, n))
+        queries = x[points]
+
+        def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray):
+            diff = x[vertex_ids] - queries[qidx]
+            return np.einsum("ij,ij->i", diff, diff)
+
+        result = beam_search_batch(
+            knn_adj,
+            np.full(points.size, navigating, dtype=np.int64),
+            dist_fn,
+            beam,
+        )
+        for t, i in enumerate(points):
+            candidates = list(knn_idx[i]) + list(result.row(t).ids)
+            adjacency.append(_mrng_select(x, int(i), candidates, r))
 
     _inter_insert(x, adjacency, r)
     _ensure_reachable(x, adjacency, navigating, search_l)

@@ -6,15 +6,23 @@ Routing distances come from the in-memory ADC tables; every expansion
 reads the vertex's page, which also delivers its full vector — those
 exact distances drive the final rerank, so the hybrid scenario reaches
 high recall even with coarse codes, at the price of I/O per hop.
+
+The routing loop itself is the shared lockstep kernel
+(:mod:`repro.engine.kernel`); this module contributes only the disk
+*policy*: an expansion hook that models one SSD read per query per
+round (``frontier_width = io_width``, DiskANN's pipelined beam),
+per-query I/O accounting, and the exact rerank over every vertex whose
+page was read.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..engine import SearchContext, execute
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
@@ -86,6 +94,58 @@ class DiskBatchResult:
         )
 
 
+class _SSDExpansion:
+    """Disk-scenario expansion policy for the lockstep kernel.
+
+    Each kernel round hands over every active query's frontier (its
+    ``io_width`` closest unexpanded candidates); the policy issues one
+    SSD read per query — so waves and page counts match the paper's
+    per-query cost model — scores all fetched vectors with a single
+    ``einsum`` for the final exact rerank, and returns the adjacency
+    lists the pages delivered.
+    """
+
+    def __init__(
+        self, ssd: SimulatedSSD, queries: np.ndarray, num_queries: int
+    ) -> None:
+        self.ssd = ssd
+        self.queries = queries
+        self.io_rounds = np.zeros(num_queries, dtype=np.int64)
+        self.page_reads = np.zeros(num_queries, dtype=np.int64)
+        self.io_us = np.zeros(num_queries, dtype=np.float64)
+        self.exact_ids: List[list] = [[] for _ in range(num_queries)]
+        self.exact_d: List[list] = [[] for _ in range(num_queries)]
+
+    def __call__(
+        self, rows: np.ndarray, frontiers: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        vec_parts: List[np.ndarray] = []
+        nbr_lists: List[np.ndarray] = []
+        for r, fverts in zip(rows, frontiers):
+            r = int(r)
+            self.io_rounds[r] += 1
+            reads_before = self.ssd.page_reads
+            io_before = self.ssd.simulated_io_us
+            vectors, adjacencies = self.ssd.read_batch(fverts)
+            self.page_reads[r] += self.ssd.page_reads - reads_before
+            self.io_us[r] += self.ssd.simulated_io_us - io_before
+            vec_parts.append(vectors)
+            nbr_lists.extend(adjacencies)
+        flat_r = np.repeat(rows, [f.size for f in frontiers])
+        diff = np.vstack(vec_parts).astype(np.float64) - self.queries[flat_r]
+        exact_round = np.einsum("ij,ij->i", diff, diff)
+        offset = 0
+        for r, fverts in zip(rows, frontiers):
+            self.exact_ids[int(r)].append(
+                fverts.astype(np.int64, copy=False)
+            )
+            self.exact_d[int(r)].append(
+                exact_round[offset : offset + fverts.size]
+            )
+            offset += fverts.size
+        return nbr_lists
+
+
 class DiskIndex:
     """DiskANN-style hybrid index over a simulated SSD.
 
@@ -109,7 +169,7 @@ class DiskIndex:
         distances without touching the quantizer).
     table_transform_batch:
         Optional batched counterpart taking/returning a
-        :class:`BatchLookupTable`; when absent, ``search_batch`` falls
+        :class:`BatchLookupTable`; when absent, the table factory falls
         back to applying ``table_transform`` per query row.
     """
 
@@ -140,6 +200,26 @@ class DiskIndex:
         self.table_transform = table_transform
         self.table_transform_batch = table_transform_batch
         self.dim = x.shape[1]
+        self.context = SearchContext(
+            graph=graph, codes=self.codes, table_factory=self._build_tables
+        )
+
+    # ------------------------------------------------------------------
+    def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
+        """Batch ADC tables with the optional routing transform applied."""
+        tables = self.quantizer.lookup_table_batch(queries)
+        if self.table_transform_batch is not None:
+            return self.table_transform_batch(tables)
+        if self.table_transform is not None:
+            return BatchLookupTable(
+                tables=np.stack(
+                    [
+                        self.table_transform(tables.table_for(i)).table
+                        for i in range(tables.num_queries)
+                    ]
+                )
+            )
+        return tables
 
     # ------------------------------------------------------------------
     def search(
@@ -148,78 +228,9 @@ class DiskIndex:
         k: int = 10,
         beam_width: int = 32,
     ) -> DiskSearchResult:
-        """DiskANN beam search + exact rerank.
-
-        Maintains a size-``beam_width`` candidate list ranked by ADC
-        distance; each round reads up to ``io_width`` of the closest
-        unexpanded candidates from SSD, scores their neighbors via the
-        lookup table, and records exact distances for the rerank.
-        """
-        if k < 1:
-            raise ValueError("k must be >= 1")
+        """DiskANN beam search + exact rerank (the ``B=1`` batch)."""
         query = np.asarray(query, dtype=np.float64).reshape(-1)
-        table = self.quantizer.lookup_table(query)
-        if self.table_transform is not None:
-            table = self.table_transform(table)
-        codes = self.codes
-        self.ssd.reset_counters()
-
-        entry = self.graph.entry_point
-        n = self.graph.num_vertices
-        seen = np.zeros(n, dtype=bool)
-        expanded = np.zeros(n, dtype=bool)
-
-        cand_ids = [entry]
-        cand_d = [float(table.distance(codes[entry]))]
-        seen[entry] = True
-        dist_comps = 1
-
-        exact_ids: list[int] = []
-        exact_d: list[float] = []
-        hops = 0
-        io_rounds = 0
-
-        while True:
-            frontier = [v for v in cand_ids if not expanded[v]][: self.io_width]
-            if not frontier:
-                break
-            io_rounds += 1
-            batch = np.array(frontier, dtype=np.int64)
-            vectors, adjacencies = self.ssd.read_batch(batch)
-            diff = vectors.astype(np.float64) - query
-            exact_round = np.einsum("ij,ij->i", diff, diff)
-            for pos, v in enumerate(frontier):
-                expanded[v] = True
-                hops += 1
-                exact_ids.append(v)
-                exact_d.append(float(exact_round[pos]))
-                dist_comps += 1
-
-                neighbors = adjacencies[pos]
-                fresh = neighbors[~seen[neighbors]] if neighbors.size else neighbors
-                if fresh.size:
-                    seen[fresh] = True
-                    nd = table.distance(codes[fresh])
-                    dist_comps += fresh.size
-                    cand_ids.extend(int(u) for u in fresh)
-                    cand_d.extend(float(d) for d in np.atleast_1d(nd))
-            order = np.argsort(cand_d, kind="stable")[:beam_width]
-            cand_ids = [cand_ids[i] for i in order]
-            cand_d = [cand_d[i] for i in order]
-
-        # Exact rerank over every vertex whose page was read.
-        exact_ids_arr = np.array(exact_ids, dtype=np.int64)
-        exact_d_arr = np.array(exact_d, dtype=np.float64)
-        order = np.argsort(exact_d_arr, kind="stable")[:k]
-        return DiskSearchResult(
-            ids=exact_ids_arr[order],
-            distances=exact_d_arr[order],
-            hops=hops,
-            io_rounds=io_rounds,
-            page_reads=self.ssd.page_reads,
-            simulated_io_us=self.ssd.simulated_io_us,
-            distance_computations=dist_comps,
-        )
+        return self.search_batch(query[None, :], k=k, beam_width=beam_width).row(0)
 
     # ------------------------------------------------------------------
     def search_batch(
@@ -230,14 +241,14 @@ class DiskIndex:
     ) -> DiskBatchResult:
         """Batched DiskANN beam search + exact rerank.
 
-        Lockstep version of :meth:`search`: every round selects each
-        active query's ``io_width`` closest unexpanded candidates,
-        issues one SSD read per query (so the per-query I/O accounting
-        matches the scalar path exactly), then scores all fetched
-        vectors with one ``einsum`` and all fresh neighbors with one
-        ADC gather across the whole batch.  Row ``b`` of the result —
-        ids, exact distances, and every counter — is bitwise identical
-        to :meth:`search` on ``queries[b]``.
+        One lockstep kernel pass with the SSD expansion policy: every
+        round selects each active query's ``io_width`` closest
+        unexpanded candidates, issues one SSD read per query (so the
+        per-query I/O accounting matches the paper's cost model), then
+        scores all fetched vectors with one ``einsum`` and all fresh
+        neighbors with one ADC gather across the whole batch.  Row
+        ``b`` of the result — ids, exact distances, and every counter —
+        is bitwise identical to a batch of one on ``queries[b]``.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -254,157 +265,28 @@ class DiskIndex:
                 simulated_io_us=np.empty(0, dtype=np.float64),
                 distance_computations=np.empty(0, dtype=np.int64),
             )
-        tables = self.quantizer.lookup_table_batch(queries)
-        if self.table_transform_batch is not None:
-            tables = self.table_transform_batch(tables)
-        elif self.table_transform is not None:
-            tables = BatchLookupTable(
-                tables=np.stack(
-                    [
-                        self.table_transform(tables.table_for(i)).table
-                        for i in range(b)
-                    ]
-                )
-            )
-        codes = self.codes
+        tables = self.context.tables(queries)
         self.ssd.reset_counters()
-
-        entry = self.graph.entry_point
-        n = self.graph.num_vertices
-        max_degree = max(
-            (nbrs.size for nbrs in self.graph.adjacency), default=0
+        policy = _SSDExpansion(self.ssd, queries, b)
+        result = execute(
+            self.graph.adjacency,
+            np.full(b, self.graph.entry_point, dtype=np.int64),
+            self.context.dist_fn(tables),
+            beam_width,
+            frontier_width=self.io_width,
+            expand=policy,
+            expansion_counts_distance=True,
         )
-        cap = beam_width + self.io_width * max(max_degree, 1)
-        col = np.arange(cap)
-
-        seen = np.zeros((b, n), dtype=bool)
-        expanded = np.zeros((b, n), dtype=bool)
-        cand_ids = np.zeros((b, cap), dtype=np.int64)
-        cand_d = np.full((b, cap), np.inf, dtype=np.float64)
-        counts = np.ones(b, dtype=np.int64)
-        hops = np.zeros(b, dtype=np.int64)
-        io_rounds = np.zeros(b, dtype=np.int64)
-        page_reads = np.zeros(b, dtype=np.int64)
-        io_us = np.zeros(b, dtype=np.float64)
-        dist_comps = np.ones(b, dtype=np.int64)
-        active = np.ones(b, dtype=bool)
-
-        qidx = np.arange(b, dtype=np.int64)
-        cand_ids[:, 0] = entry
-        cand_d[:, 0] = tables.pair_distance(
-            qidx, codes[np.full(b, entry, dtype=np.int64)]
-        )
-        seen[:, entry] = True
-
-        exact_ids: list = [[] for _ in range(b)]
-        exact_d: list = [[] for _ in range(b)]
-
-        while active.any():
-            act = np.flatnonzero(active)
-            sub_ids = cand_ids[act]
-            valid = col[None, :] < counts[act][:, None]
-            unexpanded = valid & ~expanded[act[:, None], sub_ids]
-            # First io_width unexpanded candidates per row, in ranking
-            # order — exactly the scalar path's frontier.
-            sel = unexpanded & (
-                np.cumsum(unexpanded, axis=1) <= self.io_width
-            )
-            has_work = sel.any(axis=1)
-            active[act[~has_work]] = False
-            if not has_work.any():
-                break
-            rows_local = np.flatnonzero(has_work)
-            rows = act[rows_local]
-
-            # One SSD read per query so waves / page counts match the
-            # per-query cost model; vectors are then scored jointly.
-            frontier_rows: list = []
-            vec_parts: list = []
-            row_parts: list = []
-            for rl, r in zip(rows_local, rows):
-                fverts = sub_ids[rl][sel[rl]]
-                io_rounds[r] += 1
-                reads_before = self.ssd.page_reads
-                io_before = self.ssd.simulated_io_us
-                vectors, adjacencies = self.ssd.read_batch(fverts)
-                page_reads[r] += self.ssd.page_reads - reads_before
-                io_us[r] += self.ssd.simulated_io_us - io_before
-                frontier_rows.append((int(r), fverts, adjacencies))
-                vec_parts.append(vectors)
-                row_parts.append(np.full(fverts.size, r, dtype=np.int64))
-            fr = np.concatenate(row_parts)
-            fverts_flat = np.concatenate(
-                [fv for _, fv, _ in frontier_rows]
-            )
-            expanded[fr, fverts_flat] = True
-            round_hops = np.bincount(fr, minlength=b)
-            hops += round_hops
-            dist_comps += round_hops
-
-            diff = np.vstack(vec_parts).astype(np.float64) - queries[fr]
-            exact_round = np.einsum("ij,ij->i", diff, diff)
-            offset = 0
-            for r, fverts, _ in frontier_rows:
-                exact_ids[r].append(fverts.astype(np.int64, copy=False))
-                exact_d[r].append(exact_round[offset : offset + fverts.size])
-                offset += fverts.size
-
-            # Freshness is sequential within a query's frontier (later
-            # members see earlier members' neighbors as seen), matching
-            # the scalar loop; the ADC scoring is then batched.
-            fq_parts: list = []
-            fv_parts: list = []
-            for r, _, adjacencies in frontier_rows:
-                for neighbors in adjacencies:
-                    if not neighbors.size:
-                        continue
-                    fresh = neighbors[~seen[r, neighbors]]
-                    if fresh.size:
-                        seen[r, fresh] = True
-                        fq_parts.append(
-                            np.full(fresh.size, r, dtype=np.int64)
-                        )
-                        fv_parts.append(fresh)
-            if fq_parts:
-                fq = np.concatenate(fq_parts)
-                fvn = np.concatenate(fv_parts)
-                fresh_d = tables.pair_distance(fq, codes[fvn])
-                dist_comps += np.bincount(fq, minlength=b)
-                within = np.arange(fq.size) - np.searchsorted(
-                    fq, fq, side="left"
-                )
-                dest = counts[fq] + within
-                cand_ids[fq, dest] = fvn
-                cand_d[fq, dest] = fresh_d
-                counts += np.bincount(fq, minlength=b)
-
-            # The scalar loop re-ranks its candidate list every round;
-            # do the same for every row that had a frontier.
-            sub_d = cand_d[rows]
-            order = np.argsort(sub_d, axis=1, kind="stable")
-            cand_d[rows] = np.take_along_axis(sub_d, order, axis=1)
-            cand_ids[rows] = np.take_along_axis(
-                cand_ids[rows], order, axis=1
-            )
-            new_counts = np.minimum(counts[rows], beam_width)
-            counts[rows] = new_counts
-            dropped = col[None, :] >= new_counts[:, None]
-            sub_d = cand_d[rows]
-            sub_i = cand_ids[rows]
-            sub_d[dropped] = np.inf
-            sub_i[dropped] = 0
-            cand_d[rows] = sub_d
-            cand_ids[rows] = sub_i
 
         # Exact rerank per query over every vertex whose page was read.
         out_ids = np.full((b, k), -1, dtype=np.int64)
         out_d = np.full((b, k), np.inf, dtype=np.float64)
         out_counts = np.zeros(b, dtype=np.int64)
         for r in range(b):
-            if not exact_ids[r]:
+            if not policy.exact_ids[r]:
                 continue
-            eids = np.concatenate(exact_ids[r])
-            eds = np.concatenate(exact_d[r])
+            eids = np.concatenate(policy.exact_ids[r])
+            eds = np.concatenate(policy.exact_d[r])
             order = np.argsort(eds, kind="stable")[:k]
             c = order.size
             out_ids[r, :c] = eids[order]
@@ -414,11 +296,11 @@ class DiskIndex:
             ids=out_ids,
             distances=out_d,
             counts=out_counts,
-            hops=hops,
-            io_rounds=io_rounds,
-            page_reads=page_reads,
-            simulated_io_us=io_us,
-            distance_computations=dist_comps,
+            hops=result.hops,
+            io_rounds=policy.io_rounds,
+            page_reads=policy.page_reads,
+            simulated_io_us=policy.io_us,
+            distance_computations=result.distance_computations,
         )
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.base import BaseQuantizer
 
@@ -107,6 +108,11 @@ class FilteredMemoryIndex:
         self.quantizer = quantizer
         self.codes = quantizer.encode(x)
         self.labels = labels
+        self.context = SearchContext(
+            graph=graph,
+            codes=self.codes,
+            table_factory=quantizer.lookup_table_batch,
+        )
 
     def label_count(self, label: int) -> int:
         """Number of vertices carrying ``label``."""
@@ -123,35 +129,17 @@ class FilteredMemoryIndex:
         """Nearest vertices with ``labels == label``.
 
         Escalates the beam geometrically until ``k`` matching vertices
-        are found (or ``max_beam_width`` is reached).
+        are found (or ``max_beam_width`` is reached).  The ``B=1``
+        batch.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        available = self.label_count(label)
-        table = self.quantizer.lookup_table(query)
-        codes = self.codes
-
-        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
-            return table.distance(codes[vertex_ids])
-
-        beam = max(beam_width, k)
-        total_hops = 0
-        total_comps = 0
-        while True:
-            result = self.graph.search(dist_fn, beam)
-            total_hops += result.hops
-            total_comps += result.distance_computations
-            mask = self.labels[result.ids] == label
-            matched = result.ids[mask]
-            if matched.size >= min(k, available) or beam >= max_beam_width:
-                return FilteredSearchResult(
-                    ids=matched[:k],
-                    distances=result.distances[mask][:k],
-                    hops=total_hops,
-                    distance_computations=total_comps,
-                    beam_width_used=beam,
-                )
-            beam = min(2 * beam, max_beam_width)
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        return self.search_batch(
+            query[None, :],
+            label,
+            k=k,
+            beam_width=beam_width,
+            max_beam_width=max_beam_width,
+        ).row(0)
 
     def search_batch(
         self,
@@ -195,21 +183,16 @@ class FilteredMemoryIndex:
         available = np.array(
             [self.label_count(int(lab)) for lab in qlabels], dtype=np.int64
         )
-        tables = self.quantizer.lookup_table_batch(queries)
-        codes = self.codes
+        tables = self.context.tables(queries)
         vertex_labels = self.labels
 
         active = np.ones(b, dtype=bool)
         beam = max(beam_width, k)
         while active.any():
             sub = np.flatnonzero(active)
-
-            def dist_fn(
-                qidx: np.ndarray, vertex_ids: np.ndarray, _sub=sub
-            ) -> np.ndarray:
-                return tables.pair_distance(_sub[qidx], codes[vertex_ids])
-
-            result = self.graph.search_batch(dist_fn, beam, sub.size)
+            result = self.context.run(
+                queries, beam, tables=tables, qmap=sub, num_queries=sub.size
+            )
             hops[sub] += result.hops
             comps[sub] += result.distance_computations
 

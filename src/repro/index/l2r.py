@@ -110,9 +110,9 @@ class L2RIndex(MemoryIndex):
             rng=rng,
         )
 
-    def _build_table(self, query: np.ndarray) -> LookupTable:
-        """Learned reweighting applied on top of the base ADC table."""
-        return self.reweighter.reweight(super()._build_table(query))
-
     def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
+        """Learned reweighting applied on top of the base ADC tables —
+        the only place this scenario's policy differs from the plain
+        memory index; scalar and batched search inherit it through the
+        shared context's table factory."""
         return self.reweighter.reweight_batch(super()._build_tables(queries))

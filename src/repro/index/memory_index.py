@@ -5,18 +5,25 @@ original vectors are dropped after encoding.  Routing and the final
 ranking both use ADC lookup-table distances — there is no reranking
 step, which is why this scenario's achievable recall is bounded by the
 quantizer's quality (the effect Tables 7 / Fig. 10 measure).
+
+All query execution goes through the shared engine core: the index
+owns a :class:`~repro.engine.SearchContext` (codes + table factory)
+and ``search`` is simply the ``B=1`` batch.  The scenario policy here
+is the table build itself — ADC vs SDC mode, table dtype, and the
+optional half-precision storage path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from ..engine import BatchSearchResult, SearchContext
 from ..graphs.base import ProximityGraph
-from ..quantization.adc import BatchLookupTable, LookupTable
+from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
+from ..quantization.codebook import Codebook
 
 
 @dataclass
@@ -89,6 +96,14 @@ class MemoryIndex:
         Precision of the per-query ADC tables: ``np.float64`` (default)
         or ``np.float32`` — the opt-in half-bandwidth path for
         table builds; distance estimates then differ by a few ULPs.
+    storage_dtype:
+        Precision of the resident float storage.  ``np.float32`` opts
+        into the full half-precision memory path: the codebook's
+        codewords are stored (and the dataset encoded) in float32, and
+        the table dtype defaults to float32 too — halving the float
+        footprint and bandwidth at the cost of a few ULPs (codes may
+        flip on near-tied codeword argmins).  ``np.float64`` (default)
+        keeps the double-precision reference path bit-for-bit.
     """
 
     def __init__(
@@ -97,7 +112,8 @@ class MemoryIndex:
         quantizer: BaseQuantizer,
         x: np.ndarray,
         distance_mode: str = "adc",
-        table_dtype: np.dtype = np.float64,
+        table_dtype: np.dtype = None,
+        storage_dtype: np.dtype = np.float64,
     ) -> None:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         if graph.num_vertices != x.shape[0]:
@@ -109,30 +125,45 @@ class MemoryIndex:
         if distance_mode not in ("adc", "sdc"):
             raise ValueError("distance_mode must be 'adc' or 'sdc'")
         self.distance_mode = distance_mode
+        self.storage_dtype = np.dtype(storage_dtype)
+        if self.storage_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError("storage_dtype must be float64 or float32")
+        if table_dtype is None:
+            table_dtype = self.storage_dtype
         self.table_dtype = np.dtype(table_dtype)
         self.graph = graph
         self.quantizer = quantizer
-        self.codes = quantizer.encode(x)
+        if self.storage_dtype == np.dtype(np.float32):
+            if type(quantizer).lookup_table is not BaseQuantizer.lookup_table:
+                raise ValueError(
+                    "storage_dtype=float32 supports plain chunked-PQ "
+                    "table builds only; "
+                    f"{type(quantizer).__name__} customizes its lookup "
+                    "tables"
+                )
+            # Half-precision storage: float32 codewords, and the
+            # dataset is transformed row by row (matching the scalar
+            # query path) then encoded in float32.
+            self._book = quantizer.codebook.astype(np.float32)
+            transformed = np.stack(
+                [np.asarray(quantizer.transform(row)).reshape(-1) for row in x]
+            )
+            self.codes = self._book.encode(transformed)
+        else:
+            self._book = quantizer.codebook
+            self.codes = quantizer.encode(x)
         self.dim = x.shape[1]
+        self.context = SearchContext(
+            graph=graph, codes=self.codes, table_factory=self._build_tables
+        )
 
     # ------------------------------------------------------------------
-    def _build_table(self, query: np.ndarray) -> LookupTable:
-        """Per-query ADC (or SDC) lookup table."""
-        if self.distance_mode == "sdc":
-            # Quantize the query first: the table then measures
-            # codeword-to-codeword distances (symmetric computation).
-            book = self.quantizer.codebook
-            transformed = self.quantizer.transform(query)
-            recon = book.decode(book.encode(transformed[None, :]))[0]
-            return LookupTable.build(book, recon, dtype=self.table_dtype)
-        return self.quantizer.lookup_table(query, dtype=self.table_dtype)
-
     def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
         """One-shot ADC (or SDC) tables for a whole query batch."""
+        book = self._book
         if self.distance_mode == "sdc":
-            book = self.quantizer.codebook
             # Row-wise transform AND encode for bitwise parity with the
-            # scalar path: 2-D gemms can take a different BLAS path and
+            # B=1 path: 2-D gemms can take a different BLAS path and
             # flip a near-tied codeword argmin.  decode is a pure
             # gather, so batching it is safe.
             transformed = [
@@ -142,8 +173,25 @@ class MemoryIndex:
             codes = np.vstack([book.encode(t[None, :]) for t in transformed])
             recon = book.decode(codes)
             return BatchLookupTable.build(book, recon, dtype=self.table_dtype)
-        return self.quantizer.lookup_table_batch(
-            queries, dtype=self.table_dtype
+        if self.storage_dtype == np.dtype(np.float64):
+            # Reference path: dispatch through the quantizer so table
+            # overrides (residual/multi-stage quantizers) stay live.
+            return self.quantizer.lookup_table_batch(
+                queries, dtype=self.table_dtype
+            )
+        queries = np.atleast_2d(queries)
+        transformed = (
+            np.stack(
+                [
+                    np.asarray(self.quantizer.transform(q)).reshape(-1)
+                    for q in queries
+                ]
+            )
+            if queries.shape[0]
+            else queries
+        )
+        return BatchLookupTable.build(
+            book, transformed, dtype=self.table_dtype
         )
 
     @staticmethod
@@ -153,6 +201,16 @@ class MemoryIndex:
         if k > beam_width:
             raise ValueError("k cannot exceed beam_width")
 
+    def _package(self, result: BatchSearchResult) -> MemoryBatchResult:
+        """Wrap a kernel result in the scenario's batch format."""
+        return MemoryBatchResult(
+            ids=result.ids,
+            distances=result.distances,
+            counts=result.counts,
+            hops=result.hops,
+            distance_computations=result.distance_computations,
+        )
+
     # ------------------------------------------------------------------
     def search(
         self,
@@ -160,20 +218,15 @@ class MemoryIndex:
         k: int = 10,
         beam_width: int = 32,
     ) -> MemorySearchResult:
-        """Beam-search with ADC distances; no rerank."""
-        self._validate_k(k, beam_width)
-        table = self._build_table(query)
-        codes = self.codes
-
-        def dist_fn(vertex_ids: np.ndarray) -> np.ndarray:
-            return table.distance(codes[vertex_ids])
-
-        result = self.graph.search(dist_fn, beam_width, k=k)
+        """Beam-search with ADC distances; no rerank (the ``B=1`` batch)."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        batch = self.search_batch(query[None, :], k=k, beam_width=beam_width)
+        row = batch.row(0)
         return MemorySearchResult(
-            ids=result.ids,
-            distances=result.distances,
-            hops=result.hops,
-            distance_computations=result.distance_computations,
+            ids=row.ids,
+            distances=row.distances,
+            hops=row.hops,
+            distance_computations=row.distance_computations,
         )
 
     def search_batch(
@@ -184,15 +237,16 @@ class MemoryIndex:
     ) -> MemoryBatchResult:
         """Batched beam search: one table build + one lockstep routing.
 
-        Every query's ids/distances/counters are bitwise identical to
-        looping :meth:`search` over the rows of ``queries``; the batch
-        path only amortizes the table build into a single broadcasted
-        ``einsum`` and the routing into the lockstep kernel.
+        Every query's ids/distances/counters are independent of the
+        batch composition: the kernel runs each row's trajectory
+        bitwise identically whether it shares the batch with 0 or 999
+        other queries, so batching only amortizes the table build into
+        a single broadcasted ``einsum`` and the routing into the
+        lockstep kernel.
         """
         self._validate_k(k, beam_width)
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        b = queries.shape[0]
-        if b == 0:
+        if queries.shape[0] == 0:
             return MemoryBatchResult(
                 ids=np.empty((0, k), dtype=np.int64),
                 distances=np.empty((0, k), dtype=np.float64),
@@ -200,19 +254,8 @@ class MemoryIndex:
                 hops=np.empty(0, dtype=np.int64),
                 distance_computations=np.empty(0, dtype=np.int64),
             )
-        tables = self._build_tables(queries)
-        codes = self.codes
-
-        def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
-            return tables.pair_distance(qidx, codes[vertex_ids])
-
-        result = self.graph.search_batch(dist_fn, beam_width, b, k=k)
-        return MemoryBatchResult(
-            ids=result.ids,
-            distances=result.distances,
-            counts=result.counts,
-            hops=result.hops,
-            distance_computations=result.distance_computations,
+        return self._package(
+            self.context.run(queries, beam_width, k=k)
         )
 
     # ------------------------------------------------------------------

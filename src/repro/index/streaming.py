@@ -6,6 +6,10 @@ without a full rebuild.  This module provides that substrate:
 
 * :meth:`FreshVamanaIndex.insert` — greedy-search + robust-prune
   insertion (the same primitive Vamana construction uses);
+* :meth:`FreshVamanaIndex.insert_batch` — the same insertions with
+  their searches issued in speculative lockstep batches (bitwise
+  identical to sequential :meth:`insert` calls — see
+  :mod:`repro.engine.construction`);
 * :meth:`FreshVamanaIndex.delete` — lazy tombstoning: the vertex stops
   appearing in results but keeps routing traffic until consolidation;
 * :meth:`FreshVamanaIndex.consolidate` — Fresh-DiskANN's delete
@@ -15,7 +19,9 @@ without a full rebuild.  This module provides that substrate:
 Search estimates distances with any fitted quantizer's ADC tables, so a
 frozen RPQ drops in unchanged.  Codes for inserted vectors are computed
 with the already-trained quantizer (the paper's deployment story:
-train offline, serve online).
+train offline, serve online).  Query execution goes through the shared
+engine core; the scenario policy layered on top is tombstone
+compaction of the result lists.
 """
 
 from __future__ import annotations
@@ -25,8 +31,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine import SearchContext, lockstep_apply
 from ..graphs.base import medoid
-from ..graphs.beam import beam_search, beam_search_batch
+from ..graphs.beam import BatchDistanceFn, beam_search, beam_search_batch
 from ..graphs.vamana import robust_prune
 from ..quantization.base import BaseQuantizer
 
@@ -78,6 +85,39 @@ class StreamingBatchResult:
         )
 
 
+class _LiveGraphView:
+    """Routing view over the mutable adjacency lists.
+
+    Satisfies the ``search_batch`` surface :class:`SearchContext`
+    drives, without freezing the lists into a
+    :class:`~repro.graphs.base.ProximityGraph`.
+    """
+
+    def __init__(self, adjacency: List[List[int]], entry_point: int) -> None:
+        self.adjacency = adjacency
+        self.entry_point = entry_point
+
+    def search_batch(
+        self,
+        dist_fn: BatchDistanceFn,
+        beam_width: int,
+        num_queries: int,
+        k: Optional[int] = None,
+        entries: Optional[np.ndarray] = None,
+        collect_visited: bool = False,
+    ):
+        if entries is None:
+            entries = np.full(num_queries, self.entry_point, dtype=np.int64)
+        return beam_search_batch(
+            self.adjacency,
+            entries,
+            dist_fn,
+            beam_width,
+            k=k,
+            collect_visited=collect_visited,
+        )
+
+
 class FreshVamanaIndex:
     """Mutable Vamana graph + quantized codes with insert/delete.
 
@@ -94,6 +134,9 @@ class FreshVamanaIndex:
         Beam width for insert-time searches.
     alpha:
         Robust-prune α.
+    build_batch_size:
+        Lockstep window of :meth:`insert_batch`'s speculative
+        construction-time searches.
     """
 
     def __init__(
@@ -104,16 +147,20 @@ class FreshVamanaIndex:
         search_l: int = 40,
         alpha: float = 1.2,
         seed: Optional[int] = 0,
+        build_batch_size: int = 32,
     ) -> None:
         if not quantizer.is_fitted:
             raise ValueError("quantizer must be fitted before serving")
         if r < 1:
             raise ValueError("r must be >= 1")
+        if build_batch_size < 1:
+            raise ValueError("build_batch_size must be >= 1")
         self.quantizer = quantizer
         self.dim = int(dim)
         self.r = int(r)
         self.search_l = int(search_l)
         self.alpha = float(alpha)
+        self.build_batch_size = int(build_batch_size)
         self.rng = np.random.default_rng(seed)
 
         self._vectors: List[np.ndarray] = []
@@ -137,13 +184,20 @@ class FreshVamanaIndex:
         return sum(self._deleted)
 
     # ------------------------------------------------------------------
-    def insert(self, vector: np.ndarray) -> int:
-        """Add one vector; returns its vertex id."""
+    def _check_dim(self, vector: np.ndarray) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64).reshape(-1)
         if vector.shape[0] != self.dim:
             raise ValueError(
                 f"vector has dim {vector.shape[0]}, index expects {self.dim}"
             )
+        return vector
+
+    def _apply_insert(
+        self, vector: np.ndarray, candidates: Optional[List[int]]
+    ) -> int:
+        """Append one vector and link it from ``candidates`` (the ids a
+        search of the pre-insert graph returned); the exact sequential
+        insert body shared by :meth:`insert` and :meth:`insert_batch`."""
         new_id = len(self._vectors)
         self._vectors.append(vector)
         self._codes.append(self.quantizer.encode(vector[None, :])[0])
@@ -154,14 +208,8 @@ class FreshVamanaIndex:
             self._entry = new_id
             return new_id
 
+        assert candidates is not None
         x = np.asarray(self._vectors)
-        result = beam_search(
-            self._adjacency,
-            self._entry,
-            self._exact_fn(vector),
-            self.search_l,
-        )
-        candidates = list(result.ids)
         self._adjacency.append(
             robust_prune(x, new_id, candidates, self.alpha, self.r)
         )
@@ -174,9 +222,89 @@ class FreshVamanaIndex:
                 )
         return new_id
 
+    def insert(self, vector: np.ndarray) -> int:
+        """Add one vector; returns its vertex id."""
+        vector = self._check_dim(vector)
+        if self._entry is None:
+            return self._apply_insert(vector, None)
+        result = beam_search(
+            self._adjacency,
+            self._entry,
+            self._exact_fn(vector),
+            self.search_l,
+        )
+        return self._apply_insert(vector, list(result.ids))
+
     def insert_batch(self, vectors: np.ndarray) -> List[int]:
-        """Insert rows of ``vectors``; returns the assigned ids."""
-        return [self.insert(v) for v in np.atleast_2d(vectors)]
+        """Insert rows of ``vectors``; returns the assigned ids.
+
+        The insert-time searches run in speculative lockstep windows of
+        ``build_batch_size``; insertions are applied strictly in row
+        order and re-searched when an earlier insertion touched an
+        adjacency list their trajectory read, so the resulting graph is
+        bitwise identical to looping :meth:`insert`.
+        """
+        rows = [self._check_dim(v) for v in np.atleast_2d(vectors)]
+        ids: List[int] = []
+        epoch = 0
+        last_mod = np.full(len(self._vectors) + len(rows), -1, dtype=np.int64)
+
+        def batch_search(indices):
+            if self._entry is None:
+                # Empty index: nothing to search until the first row is
+                # applied; payloads are placeholders that only stay
+                # valid while the index remains empty.
+                return [{"empty": True} for _ in indices]
+            x = np.asarray(self._vectors)
+            queries = np.stack([rows[i] for i in indices])
+
+            def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray):
+                diff = x[vertex_ids] - queries[qidx]
+                return np.einsum("ij,ij->i", diff, diff)
+
+            result = beam_search_batch(
+                self._adjacency,
+                np.full(len(indices), self._entry, dtype=np.int64),
+                dist_fn,
+                self.search_l,
+                collect_visited=True,
+            )
+            assert result.visited_lists is not None
+            return [
+                {
+                    "empty": False,
+                    "epoch": epoch,
+                    "ids": list(result.row(i).ids),
+                    "visited": result.visited_lists[i],
+                }
+                for i in range(len(indices))
+            ]
+
+        def is_valid(payload) -> bool:
+            if payload["empty"]:
+                return self._entry is None
+            if self._entry is None:
+                return False
+            # Stale once any adjacency list the cached trajectory read
+            # was modified by apply number ``epoch`` or later.
+            return not (
+                last_mod[payload["visited"]] >= payload["epoch"]
+            ).any()
+
+        def apply(i: int, payload) -> None:
+            nonlocal epoch
+            candidates = None if payload["empty"] else payload["ids"]
+            new_id = self._apply_insert(rows[i], candidates)
+            ids.append(new_id)
+            last_mod[new_id] = epoch
+            for j in self._adjacency[new_id]:
+                last_mod[j] = epoch
+            epoch += 1
+
+        lockstep_apply(
+            len(rows), batch_search, is_valid, apply, self.build_batch_size
+        )
+        return ids
 
     def delete(self, vertex: int) -> None:
         """Tombstone ``vertex``: it disappears from results immediately
@@ -239,14 +367,13 @@ class FreshVamanaIndex:
 
         return fn
 
-    def _adc_fn(self, query: np.ndarray):
-        table = self.quantizer.lookup_table(query)
-        codes = np.asarray(self._codes)
-
-        def fn(vertex_ids: np.ndarray) -> np.ndarray:
-            return table.distance(codes[vertex_ids])
-
-        return fn
+    def _context(self) -> SearchContext:
+        """Per-call engine context over the current codes and graph."""
+        return SearchContext(
+            graph=_LiveGraphView(self._adjacency, self._entry),
+            codes=np.asarray(self._codes),
+            table_factory=self.quantizer.lookup_table_batch,
+        )
 
     def search(
         self,
@@ -255,32 +382,12 @@ class FreshVamanaIndex:
         beam_width: int = 32,
     ) -> StreamingSearchResult:
         """ADC beam search; tombstoned vertices are filtered from the
-        results (but still route, as in Fresh-DiskANN)."""
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if self._entry is None or self.num_active == 0:
-            return StreamingSearchResult(
-                ids=np.empty(0, dtype=np.int64),
-                distances=np.empty(0),
-                hops=0,
-                distance_computations=0,
-            )
+        results (but still route, as in Fresh-DiskANN).  The ``B=1``
+        batch."""
         query = np.asarray(query, dtype=np.float64).reshape(-1)
-        result = beam_search(
-            self._adjacency,
-            self._entry,
-            self._adc_fn(query),
-            beam_width,
-        )
-        mask = np.array([not self._deleted[int(v)] for v in result.ids])
-        ids = result.ids[mask][:k]
-        dists = result.distances[mask][:k]
-        return StreamingSearchResult(
-            ids=ids,
-            distances=dists,
-            hops=result.hops,
-            distance_computations=result.distance_computations,
-        )
+        return self.search_batch(
+            query[None, :], k=k, beam_width=beam_width
+        ).row(0)
 
     def search_batch(
         self,
@@ -290,10 +397,10 @@ class FreshVamanaIndex:
     ) -> StreamingBatchResult:
         """Batched ADC beam search with per-query tombstone filtering.
 
-        Row ``b`` is bitwise identical to :meth:`search` on
-        ``queries[b]``: one shared table build, one lockstep routing
-        pass, then a vectorized stable compaction that drops tombstoned
-        vertices while preserving each row's ranking order.
+        One shared table build, one lockstep routing pass through the
+        engine core, then the scenario's policy: a vectorized stable
+        compaction that drops tombstoned vertices while preserving each
+        row's ranking order.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -307,20 +414,9 @@ class FreshVamanaIndex:
                 hops=np.zeros(b, dtype=np.int64),
                 distance_computations=np.zeros(b, dtype=np.int64),
             )
-        tables = self.quantizer.lookup_table_batch(queries)
-        codes = np.asarray(self._codes)
-
-        def dist_fn(qidx: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
-            return tables.pair_distance(qidx, codes[vertex_ids])
-
-        result = beam_search_batch(
-            self._adjacency,
-            np.full(b, self._entry, dtype=np.int64),
-            dist_fn,
-            beam_width,
-        )
+        result = self._context().run(queries, beam_width)
         # Stable compaction: alive candidates first, order preserved —
-        # the batched equivalent of the scalar path's boolean masking.
+        # the batched equivalent of boolean masking per query.
         dead = np.asarray(self._deleted, dtype=bool)
         width = result.ids.shape[1]
         valid = np.arange(width)[None, :] < result.counts[:, None]

@@ -93,9 +93,24 @@ class BaseQuantizer(abc.ABC):
         can take a different BLAS path than the per-row call (gemm vs
         vec-mat) and drift by ULPs, which would break the engine's
         bitwise batch/scalar parity for rotation/projection quantizers.
+
+        Subclasses that customize per-query table construction
+        (residual / multi-stage quantizers) need only override
+        :meth:`lookup_table`: when it is overridden and this method is
+        not, the batch is built by stacking the per-query override so
+        its semantics carry into every engine path.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         book = self._require_fitted()
+        if (
+            type(self).lookup_table is not BaseQuantizer.lookup_table
+            and queries.shape[0]
+        ):
+            return BatchLookupTable(
+                tables=np.stack(
+                    [self.lookup_table(q, dtype=dtype).table for q in queries]
+                )
+            )
         transformed = np.stack(
             [np.asarray(self.transform(q)).reshape(-1) for q in queries]
         ) if queries.shape[0] else queries

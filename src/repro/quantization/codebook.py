@@ -40,12 +40,26 @@ class Codebook:
     codewords: np.ndarray
 
     def __post_init__(self) -> None:
-        cw = np.asarray(self.codewords, dtype=np.float64)
+        cw = np.asarray(self.codewords)
+        if cw.dtype != np.float32:
+            # float64 is the reference precision; float32 codewords are
+            # the opt-in half-precision storage path (see astype).
+            cw = cw.astype(np.float64)
         if cw.ndim != 3:
             raise ValueError(
                 f"codewords must be (M, K, d_sub), got shape {cw.shape}"
             )
         object.__setattr__(self, "codewords", cw)
+
+    def astype(self, dtype: np.dtype) -> "Codebook":
+        """Copy of this codebook with codewords stored as ``dtype``.
+
+        Encode/decode arithmetic then runs in that dtype — the
+        half-precision storage path of the memory scenario uses
+        ``astype(np.float32)`` to halve codeword footprint and
+        encode/table bandwidth.
+        """
+        return Codebook(codewords=self.codewords.astype(dtype))
 
     # ------------------------------------------------------------------
     @property
@@ -98,7 +112,7 @@ class Codebook:
         its nearest codeword (hard argmin — the operation the paper makes
         differentiable during training, and freezes back to at inference).
         """
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        x = np.atleast_2d(np.asarray(x, dtype=self.codewords.dtype))
         n = x.shape[0]
         codes = np.empty((n, self.num_chunks), dtype=self.code_dtype)
         for j, chunk in enumerate(self.iter_chunks(x)):
@@ -119,7 +133,7 @@ class Codebook:
                 f"codes have {codes.shape[1]} chunks, expected {self.num_chunks}"
             )
         n = codes.shape[0]
-        out = np.empty((n, self.dim), dtype=np.float64)
+        out = np.empty((n, self.dim), dtype=self.codewords.dtype)
         for j in range(self.num_chunks):
             out[:, j * self.sub_dim : (j + 1) * self.sub_dim] = self.codewords[
                 j, codes[:, j].astype(np.int64)

@@ -114,7 +114,7 @@ class LinkAndCodeQuantizer(BaseQuantizer):
             out = out + extra.decode(codes[:, col : col + 1])
         return out
 
-    def lookup_table(self, query: np.ndarray):
+    def lookup_table(self, query: np.ndarray, dtype: np.dtype = np.float64):
         """ADC over base + refinement levels via a concatenated table.
 
         The refinement codewords live in the same ``D``-dim space as the
@@ -131,7 +131,7 @@ class LinkAndCodeQuantizer(BaseQuantizer):
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         base = LookupTable.build(book, query).table  # (M, K)
         if not self.residual_books:
-            return LookupTable(table=base)
+            return LookupTable(table=base.astype(dtype, copy=False))
         # Residual levels contribute  ||r_k||^2 - 2 <q - x', r_k>;  the
         # cross term with the unknown base reconstruction is dropped,
         # keeping the estimator cheap (consistent with L&C's coarse
@@ -142,7 +142,7 @@ class LinkAndCodeQuantizer(BaseQuantizer):
             term = np.einsum("kd,kd->k", cw, cw) - 2.0 * (cw @ query)
             extras.append(term[None, :])
         table = np.concatenate([base] + extras, axis=0)
-        return LookupTable(table=table)
+        return LookupTable(table=table.astype(dtype, copy=False))
 
     def parameter_bytes(self) -> int:
         base = super().parameter_bytes()

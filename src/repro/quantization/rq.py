@@ -94,7 +94,9 @@ class ResidualQuantizer(BaseQuantizer):
             out += centroids[codes[:, level]]
         return out
 
-    def lookup_table(self, query: np.ndarray) -> LookupTable:
+    def lookup_table(
+        self, query: np.ndarray, dtype: np.dtype = np.float64
+    ) -> LookupTable:
         """Additive first-pass table: per level,
         ``||c||^2 - 2 <q, c>``; summing over levels recovers
         ``||x'||^2 - 2 <q, x'>`` up to the inter-level cross terms,
@@ -108,7 +110,8 @@ class ResidualQuantizer(BaseQuantizer):
                 - 2.0 * (centroids @ query)
             )
             tables.append(term[None, :])
-        return LookupTable(table=np.concatenate(tables, axis=0))
+        table = np.concatenate(tables, axis=0)
+        return LookupTable(table=table.astype(dtype, copy=False))
 
     def quantization_error(self, x: np.ndarray) -> float:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))

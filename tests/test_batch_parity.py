@@ -231,3 +231,51 @@ class TestFilteredParity:
         )
         assert_rows_match(scalars, batch, extra_attrs=("beam_width_used",))
         assert (batch.beam_widths_used >= 8).all()
+
+
+class TestTableOverrideQuantizers:
+    """Quantizers that customize per-query table construction (L&C's
+    concatenated refinement table, RQ's additive level table) must work
+    through every engine path: the batch table factory dispatches
+    through their ``lookup_table`` override, and scalar search is the
+    B=1 batch."""
+
+    @pytest.mark.parametrize("kind", ["lnc", "rq"])
+    def test_memory_and_disk_paths(self, setup, kind):
+        from repro.quantization import LinkAndCodeQuantizer, ResidualQuantizer
+
+        data, _, vamana, _ = setup
+        if kind == "lnc":
+            quantizer = LinkAndCodeQuantizer(4, 16, n_sq=1, seed=0).fit(
+                data.train
+            )
+        else:
+            quantizer = ResidualQuantizer(
+                num_levels=2, num_codewords=16, seed=0
+            ).fit(data.train)
+
+        memory = MemoryIndex(vamana, quantizer, data.base)
+        scalars = [
+            memory.search(q, k=5, beam_width=16) for q in data.queries
+        ]
+        assert_rows_match(
+            scalars, memory.search_batch(data.queries, k=5, beam_width=16)
+        )
+
+        disk = DiskIndex(vamana, quantizer, data.base)
+        scalars = [disk.search(q, k=5, beam_width=16) for q in data.queries]
+        assert_rows_match(
+            scalars, disk.search_batch(data.queries, k=5, beam_width=16)
+        )
+
+    def test_float32_storage_rejects_table_overrides(self, setup):
+        from repro.quantization import ResidualQuantizer
+
+        data, _, vamana, _ = setup
+        quantizer = ResidualQuantizer(
+            num_levels=2, num_codewords=16, seed=0
+        ).fit(data.train)
+        with pytest.raises(ValueError, match="float32"):
+            MemoryIndex(
+                vamana, quantizer, data.base, storage_dtype=np.float32
+            )
