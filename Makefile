@@ -1,14 +1,23 @@
 # Developer entry points.  `make test` is the tier-1 verification
-# command (see ROADMAP.md); the others are convenience wrappers.
+# command (see ROADMAP.md); `make ci` is the fast lane the CI workflow
+# runs on every push (lint + tier-1 fast lane + smoke) and `make
+# ci-full` the nightly full lane (everything, plus the benchmark
+# identity checks with the timing gates disabled).
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-batch test-build bench-batch bench-build smoke demo
+.PHONY: test test-fast test-batch test-build bench-batch bench-build \
+	bench-serving smoke demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 fast lane: everything not marked slow (see pyproject.toml);
+# the slow marker covers the heavyweight parity/integration suites.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
 
 # Just the batched-engine tests (parity, edge cases, table build).
 test-batch:
@@ -27,9 +36,40 @@ bench-batch:
 bench-build:
 	cd benchmarks && $(PYTHON) -m pytest bench_build.py -q
 
+# Dynamic-batching serving QPS vs latency (determinism + >= 2x gate).
+bench-serving:
+	cd benchmarks && $(PYTHON) -m pytest bench_serving.py -q
+
+# Static checks.  ruff ships via requirements-dev.txt (CI always has
+# it); when it is missing locally the target skips instead of failing
+# so `make ci` stays runnable in minimal environments.  The format
+# check covers the serving layer and its tests/benchmarks (the
+# incrementally-adopted formatted subset); `ruff check` covers
+# everything.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check . && \
+		$(PYTHON) -m ruff format --check src/repro/serving \
+			tests/test_sharded.py tests/test_batcher.py \
+			benchmarks/bench_serving.py; \
+	else \
+		echo "ruff not installed; skipping lint (CI installs it)"; \
+	fi
+
 # End-to-end smoke: the quickstart example must run clean.
 smoke:
 	$(PYTHON) examples/quickstart.py
+
+# Fast lane — what CI runs on every push/PR (keep in lockstep with
+# .github/workflows/ci.yml).
+ci: lint test-fast smoke
+
+# Full lane — nightly CI: full tier-1 plus the benchmark identity /
+# determinism checks.  Speedup gates are timing-flaky on shared
+# runners, so the nightly job sets REPRO_SKIP_SPEEDUP_GATES=1.
+ci-full: lint test smoke
+	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
+		bench_build.py bench_serving.py -q
 
 demo:
 	$(PYTHON) -m repro.cli demo --batch-size 64

@@ -23,7 +23,12 @@ from repro.eval import format_table
 from repro.eval.harness import run_build_throughput
 from repro.graphs import build_vamana
 
-from common import build_speedup_guard, fmt, save_report
+from common import (
+    build_speedup_guard,
+    fmt,
+    save_report,
+    speedup_gates_enabled,
+)
 
 BATCH_SIZES = (8, 32, 64)
 N_BASE = 2000
@@ -89,7 +94,8 @@ def test_build_throughput(benchmark):
 
     # Regression tripwire: the memory scenario's default graph must
     # keep a >= 2.5x build speedup at build_batch_size >= 32.
-    assert guard_speedup >= 2.5, (
-        f"vamana build_batch_size={GUARD_BATCH} speedup "
-        f"{guard_speedup:.2f}x fell below the 2.5x acceptance bar"
-    )
+    if speedup_gates_enabled():
+        assert guard_speedup >= 2.5, (
+            f"vamana build_batch_size={GUARD_BATCH} speedup "
+            f"{guard_speedup:.2f}x fell below the 2.5x acceptance bar"
+        )

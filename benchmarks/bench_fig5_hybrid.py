@@ -8,7 +8,7 @@ RPQ >= Catalyst >= OPQ >= PQ toward the upper right.
 
 from __future__ import annotations
 
-from repro.eval import format_table, max_recall, metric_at_recall
+from repro.eval import format_table, metric_at_recall
 from repro.eval.harness import adaptive_recall_target, prepare, run_curves
 
 from common import BEAMS, DATASETS, N_BASE, N_QUERIES, NUM_CHUNKS, NUM_CODEWORDS, curve_rows, fmt, save_report

@@ -12,15 +12,25 @@ from __future__ import annotations
 
 from repro.eval import format_table, max_recall
 from repro.eval.harness import (
-    adaptive_recall_target,
     make_index,
     make_quantizer,
-    metric_at_recall,
     prepare,
     run_curves,
 )
 
-from common import BATCH_SIZE, BEAMS, DATASETS, N_BASE, N_QUERIES, NUM_CHUNKS, NUM_CODEWORDS, batch_speedup_guard, curve_rows, fmt, save_report
+from common import (
+    BATCH_SIZE,
+    BEAMS,
+    DATASETS,
+    N_BASE,
+    N_QUERIES,
+    NUM_CHUNKS,
+    NUM_CODEWORDS,
+    batch_speedup_guard,
+    curve_rows,
+    fmt,
+    save_report,
+)
 
 METHODS = ("pq", "opq", "lnc", "catalyst", "rpq")
 

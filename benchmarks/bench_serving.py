@@ -1,0 +1,119 @@
+"""Serving layer — dynamic batching QPS vs latency, sharded fan-out.
+
+Serves an open-loop request stream (single-query submissions) through
+the dynamic batcher over the in-memory scenario and reports the
+QPS-vs-p99 trade-off as ``max_wait_ms`` varies, for the unsharded index
+and a sharded fan-out.  Every answer is bitwise identical to a direct
+``search`` call (batch composition cannot change results), so the whole
+table is a pure latency/throughput trade.
+
+Regression tripwire: :func:`common.serving_speedup_guard` — dynamic
+batching at ``max_batch_size >= 32`` must keep a >= 2x QPS advantage
+over per-query serving on the memory scenario (skipped with
+``REPRO_SKIP_SPEEDUP_GATES``; the determinism assertion always runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.eval.harness import (
+    make_index,
+    make_quantizer,
+    prepare,
+    run_serving,
+    serving_speedup,
+)
+from repro.serving import DynamicBatcher
+
+from common import (
+    NUM_CHUNKS,
+    NUM_CODEWORDS,
+    fmt,
+    save_report,
+    serving_speedup_guard,
+    speedup_gates_enabled,
+)
+
+N_BASE = 2000
+N_QUERIES = 64
+STREAM_LEN = 256
+MAX_BATCH = 32
+WAITS = (0.0, 2.0, 8.0)
+SHARD_COUNTS = (1, 4)
+
+
+def run():
+    # One dataset/graph/ground-truth bundle shared by every
+    # measurement below (graph builds dominate setup time).
+    prepared = prepare("sift", "vamana", n_base=N_BASE,
+                       n_queries=N_QUERIES, seed=0)
+    points = {
+        shards: run_serving(
+            "memory",
+            stream_len=STREAM_LEN,
+            batch_sizes=(1, MAX_BATCH),
+            wait_ms=WAITS,
+            num_shards=shards,
+            num_chunks=NUM_CHUNKS,
+            num_codewords=NUM_CODEWORDS,
+            seed=0,
+            prepared=prepared,
+        )
+        for shards in SHARD_COUNTS
+    }
+
+    quantizer = make_quantizer("pq", prepared, NUM_CHUNKS,
+                               NUM_CODEWORDS, seed=0)
+    index = make_index("memory", prepared, quantizer, seed=0)
+    guard_speedup = serving_speedup_guard(
+        index, prepared.dataset.queries, batch_size=MAX_BATCH
+    )
+
+    # Determinism check: served answers equal direct search answers.
+    with DynamicBatcher(index, k=10, beam_width=32,
+                        max_batch_size=MAX_BATCH, max_wait_ms=2.0) as b:
+        futures = [b.submit(q) for q in prepared.dataset.queries]
+        served = [f.result(timeout=60) for f in futures]
+    identical = all(
+        np.array_equal(row.ids, index.search(q, k=10, beam_width=32).ids)
+        for row, q in zip(served, prepared.dataset.queries)
+    )
+    return points, guard_speedup, identical
+
+
+def test_serving_throughput(benchmark):
+    points, guard_speedup, identical = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    blocks = []
+    for shards, shard_points in points.items():
+        rows = [p.as_row() for p in shard_points]
+        blocks.append(
+            format_table(
+                ["max batch", "max wait ms", "shards", "QPS",
+                 "p50 ms", "p99 ms", "mean batch"],
+                rows,
+                title=(
+                    f"Dynamic-batching serving (sift, n={N_BASE}, "
+                    f"{shards} shard{'s' if shards > 1 else ''}, "
+                    f"stream {STREAM_LEN})"
+                ),
+            )
+        )
+        blocks.append(
+            f"[{shards} shard(s)] batched vs per-query serving: "
+            f"{fmt(serving_speedup(shard_points), 2)}x"
+        )
+    save_report("serving_throughput", "\n\n".join(blocks))
+
+    # Bitwise serving correctness is non-negotiable.
+    assert identical, "served answers diverged from direct search"
+
+    if speedup_gates_enabled():
+        assert guard_speedup >= 2.0, (
+            f"dynamic-batched serving (batch={MAX_BATCH}) speedup "
+            f"{guard_speedup:.2f}x fell below the 2x acceptance bar"
+        )

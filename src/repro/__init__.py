@@ -17,6 +17,9 @@ Subpackages
     Synthetic stand-ins for SIFT/Deep/GIST/BigANN/Ukbench (Table 3).
 ``repro.metrics`` / ``repro.eval``
     Recall@k, QPS, counters; per-figure experiment drivers (§8).
+``repro.serving``
+    Serving layer: sharded fan-out search and the dynamic-batching
+    request queue (queue → batcher → sharded fan-out → merge).
 
 Quick start::
 
@@ -34,7 +37,17 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import autodiff, core, datasets, eval, graphs, index, metrics, quantization
+from . import (
+    autodiff,
+    core,
+    datasets,
+    eval,
+    graphs,
+    index,
+    metrics,
+    quantization,
+    serving,
+)
 
 __all__ = [
     "autodiff",
@@ -45,5 +58,6 @@ __all__ = [
     "index",
     "metrics",
     "quantization",
+    "serving",
     "__version__",
 ]

@@ -9,7 +9,8 @@ Commands
     (``--batch-size N`` answers queries through the batched engine).
 ``experiment``
     Run one of the paper-artifact drivers (table2, fig4, batch, build)
-    and print it.
+    or the serving-layer driver (``serve`` — dynamic batching QPS vs
+    latency, optionally over a sharded index) and print it.
 """
 
 from __future__ import annotations
@@ -63,11 +64,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     data = load(args.dataset, n_base=args.n_base, n_queries=args.n_queries,
                 seed=args.seed)
     builders = {
-        "hnsw": lambda: build_hnsw(data.base, m=8, ef_construction=48, seed=args.seed),
-        "nsg": lambda: build_nsg(data.base, knn_k=16, r=16, search_l=40),
-        "vamana": lambda: build_vamana(data.base, r=16, search_l=40, seed=args.seed),
+        "hnsw": lambda x: build_hnsw(x, m=8, ef_construction=48, seed=args.seed),
+        "nsg": lambda x: build_nsg(x, knn_k=16, r=16, search_l=40),
+        "vamana": lambda x: build_vamana(x, r=16, search_l=40, seed=args.seed),
     }
-    graph = builders[args.graph]()
+    graph = builders[args.graph](data.base)
     gt = compute_ground_truth(data.base, data.queries, k=10)
 
     config = RPQTrainingConfig(
@@ -81,14 +82,35 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .eval.sweep import run_queries_batched
 
     storage_dtype = np.float32 if args.float32 else np.float64
+    if args.shards > 1:
+        # Shard graphs depend only on the rows, so build them once and
+        # share them across the PQ/RPQ comparison below.
+        from .serving import ShardedIndex, partition_rows
+
+        shard_parts = partition_rows(data.base.shape[0], args.shards)
+        shard_graphs = [
+            builders[args.graph](data.base[idx]) for idx in shard_parts
+        ]
     rows = []
     for name, quantizer in (("PQ", pq), ("RPQ", rpq.quantizer)):
-        if args.scenario == "memory":
-            index = MemoryIndex(
-                graph, quantizer, data.base, storage_dtype=storage_dtype
+
+        def build_one(shard_graph, x):
+            if args.scenario == "memory":
+                return MemoryIndex(
+                    shard_graph, quantizer, x, storage_dtype=storage_dtype
+                )
+            return DiskIndex(shard_graph, quantizer, x)
+
+        if args.shards > 1:
+            index = ShardedIndex(
+                [
+                    build_one(g, data.base[idx])
+                    for g, idx in zip(shard_graphs, shard_parts)
+                ],
+                global_ids=shard_parts,
             )
         else:
-            index = DiskIndex(graph, quantizer, data.base)
+            index = build_one(graph, data.base)
         # Everything routes through the unified engine; --batch-size
         # only sets how many queries share each kernel call.
         results = run_queries_batched(
@@ -102,6 +124,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         if args.batch_size > 1
         else "per-query"
     )
+    if args.shards > 1:
+        engine += f", {args.shards} shards"
     if args.float32 and args.scenario == "memory":
         engine += ", float32 storage"
     print(
@@ -123,9 +147,46 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         run_batch_throughput,
         run_build_throughput,
         run_fig4,
+        run_serving,
         run_table2,
+        serving_speedup,
     )
 
+    if args.name == "serve":
+        batch_sizes = (
+            (1,) if args.batch_size == 1 else (1, args.batch_size)
+        )
+        points = run_serving(
+            dataset_name=args.dataset,
+            n_base=args.n_base,
+            n_queries=max(args.n_queries, 32),
+            batch_sizes=batch_sizes,
+            num_shards=args.shards,
+            graph_kind=args.graph,
+            seed=args.seed,
+        )
+        rows = [p.as_row() for p in points]
+        print(
+            format_table(
+                [
+                    "max batch",
+                    "max wait ms",
+                    "shards",
+                    "QPS",
+                    "p50 ms",
+                    "p99 ms",
+                    "mean batch",
+                ],
+                rows,
+                title=f"Dynamic-batching serving ({args.dataset}, memory)",
+            )
+        )
+        if args.batch_size > 1:
+            print(
+                f"batched serving speedup over per-query serving: "
+                f"{serving_speedup(points):.2f}x"
+            )
+        return 0
     if args.name == "build":
         points = run_build_throughput(
             graph_kind=args.graph,
@@ -250,10 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="memory scenario: half-precision storage (float32 codewords, "
         "dataset encoding, and ADC tables)",
     )
+    p_demo.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="partition the dataset across this many shards and answer "
+        "queries through the fan-out ShardedIndex",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
-    p_exp.add_argument("name", choices=("table2", "fig4", "batch", "build"))
+    p_exp.add_argument(
+        "name", choices=("table2", "fig4", "batch", "build", "serve")
+    )
     p_exp.add_argument("--dataset", default="sift")
     p_exp.add_argument("--graph", choices=("hnsw", "nsg", "vamana"), default="vamana")
     p_exp.add_argument("--n-base", type=int, default=800)
@@ -263,7 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size",
         type=_positive_int,
         default=64,
-        help="largest (build) batch size for the 'batch'/'build' experiments",
+        help="largest (build) batch size for the 'batch'/'build' "
+        "experiments; max micro-batch size for 'serve'",
+    )
+    p_exp.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="'serve' experiment: fan the index out across this many shards",
     )
     p_exp.set_defaults(func=_cmd_experiment)
     return parser

@@ -52,6 +52,13 @@ class Prepared:
     graph: ProximityGraph
     ground_truth: GroundTruth
     k: int = 10
+    graph_kind: str = "vamana"
+    seed: int = 0
+    # Per-shard partitions/graphs, built once per shard count and
+    # reused across methods (they depend only on the rows and seed).
+    shard_graph_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
 
 GRAPH_BUILDERS = {
@@ -75,7 +82,14 @@ def prepare(
     dataset = load(dataset_name, n_base=n_base, n_queries=n_queries, seed=seed)
     graph = GRAPH_BUILDERS[graph_kind](dataset.base, seed)
     gt = compute_ground_truth(dataset.base, dataset.queries, k=k)
-    return Prepared(dataset=dataset, graph=graph, ground_truth=gt, k=k)
+    return Prepared(
+        dataset=dataset,
+        graph=graph,
+        ground_truth=gt,
+        k=k,
+        graph_kind=graph_kind,
+        seed=seed,
+    )
 
 
 def quick_rpq_config(**overrides) -> RPQTrainingConfig:
@@ -150,31 +164,21 @@ def make_quantizer(
     raise KeyError(f"unknown quantizer {name!r}")
 
 
-def make_index(
+def _single_index(
     scenario: str,
-    prepared: Prepared,
+    graph: ProximityGraph,
     quantizer: BaseQuantizer,
+    x: np.ndarray,
     method: str = "",
     seed: int = 0,
 ):
-    """Instantiate the scenario's index (``memory`` or ``hybrid``).
-
-    ``method == 'l2r'`` swaps in the learning-to-route variant: the
-    quantizer stays fixed and a learned reweighting of the ADC tables
-    stands in for the routing model (memory scenario uses
-    :class:`L2RIndex`; the hybrid scenario passes the reweighter as the
-    disk index's ``table_transform``).
-    """
-    x = prepared.dataset.base
+    """One unsharded index over ``(graph, x)`` for a scenario/method."""
     if scenario == "memory":
         if method == "l2r":
             return L2RIndex(
-                prepared.graph,
-                quantizer,
-                x,
-                rng=np.random.default_rng(seed),
+                graph, quantizer, x, rng=np.random.default_rng(seed)
             )
-        return MemoryIndex(prepared.graph, quantizer, x)
+        return MemoryIndex(graph, quantizer, x)
     if scenario == "hybrid":
         if method == "l2r":
             from ..index.l2r import LearnedRoutingReweighter
@@ -183,14 +187,59 @@ def make_index(
                 quantizer, x, rng=np.random.default_rng(seed)
             )
             return DiskIndex(
-                prepared.graph,
+                graph,
                 quantizer,
                 x,
                 table_transform=reweighter.reweight,
                 table_transform_batch=reweighter.reweight_batch,
             )
-        return DiskIndex(prepared.graph, quantizer, x)
+        return DiskIndex(graph, quantizer, x)
     raise KeyError(f"unknown scenario {scenario!r}")
+
+
+def make_index(
+    scenario: str,
+    prepared: Prepared,
+    quantizer: BaseQuantizer,
+    method: str = "",
+    seed: int = 0,
+    num_shards: int = 1,
+):
+    """Instantiate the scenario's index (``memory`` or ``hybrid``).
+
+    ``method == 'l2r'`` swaps in the learning-to-route variant: the
+    quantizer stays fixed and a learned reweighting of the ADC tables
+    stands in for the routing model (memory scenario uses
+    :class:`L2RIndex`; the hybrid scenario passes the reweighter as the
+    disk index's ``table_transform``).
+
+    ``num_shards > 1`` partitions the dataset and builds one index —
+    including its own graph, with the prepared graph kind and seed —
+    per shard, wrapped in a fan-out
+    :class:`~repro.serving.sharded.ShardedIndex`.
+    """
+    x = prepared.dataset.base
+    if num_shards > 1:
+        from ..serving import ShardedIndex, partition_rows
+
+        if num_shards not in prepared.shard_graph_cache:
+            parts = partition_rows(x.shape[0], num_shards)
+            builder = GRAPH_BUILDERS[prepared.graph_kind]
+            prepared.shard_graph_cache[num_shards] = (
+                parts,
+                [builder(x[idx], prepared.seed) for idx in parts],
+            )
+        parts, graphs = prepared.shard_graph_cache[num_shards]
+        shards = [
+            _single_index(
+                scenario, g, quantizer, x[idx], method=method, seed=seed
+            )
+            for g, idx in zip(graphs, parts)
+        ]
+        return ShardedIndex(shards, global_ids=parts)
+    return _single_index(
+        scenario, prepared.graph, quantizer, x, method=method, seed=seed
+    )
 
 
 # ----------------------------------------------------------------------
@@ -321,12 +370,16 @@ def run_curves(
     beam_widths: Sequence[int] = (10, 16, 24, 32, 48, 64),
     seed: int = 0,
     batch_size: Optional[int] = None,
+    shards: int = 1,
 ) -> Dict[str, List[OperatingPoint]]:
     """Sweep every method on one prepared dataset (one Fig. 5/6/7 cell).
 
     With ``batch_size`` set, the sweeps answer queries through the
     batched engine; recall is unchanged (batch results are bitwise
-    identical) while QPS reflects batched throughput.
+    identical) while QPS reflects batched throughput.  ``shards > 1``
+    runs every sweep against a fan-out
+    :class:`~repro.serving.sharded.ShardedIndex` built from per-shard
+    graphs over a partition of the dataset.
     """
     curves: Dict[str, List[OperatingPoint]] = {}
     for method in methods:
@@ -334,7 +387,14 @@ def run_curves(
         quantizer = make_quantizer(
             quant_name, prepared, num_chunks, num_codewords, seed=seed
         )
-        index = make_index(scenario, prepared, quantizer, method=method, seed=seed)
+        index = make_index(
+            scenario,
+            prepared,
+            quantizer,
+            method=method,
+            seed=seed,
+            num_shards=shards,
+        )
         curves[method] = sweep_beam(
             index,
             prepared.dataset.queries,
@@ -430,6 +490,173 @@ def run_batch_throughput(
             )
         )
     return points
+
+
+# ----------------------------------------------------------------------
+# Serving throughput (dynamic batching, sharded fan-out)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServingPoint:
+    """One serving configuration's measured QPS / latency trade-off."""
+
+    max_batch_size: int
+    max_wait_ms: float
+    num_shards: int
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_batch: float
+    batches: int
+
+    def as_row(self) -> list:
+        return [
+            self.max_batch_size,
+            self.max_wait_ms,
+            self.num_shards,
+            round(self.qps, 1),
+            round(self.p50_ms, 2),
+            round(self.p99_ms, 2),
+            round(self.mean_batch, 1),
+        ]
+
+
+def measure_serving(
+    index,
+    queries: np.ndarray,
+    k: int = 10,
+    beam_width: int = 32,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    num_shards: int = 1,
+) -> ServingPoint:
+    """Serve one open-loop request stream through a dynamic batcher.
+
+    Every query is submitted as fast as the queue accepts it (the
+    saturated-server regime where batching pays); per-request latency
+    is submit-to-resolve, so the reported p50/p99 include queueing.
+    ``max_batch_size=1`` is the per-query serving baseline — every
+    request is answered by its own ``search_batch`` call.
+    """
+    from ..serving import DynamicBatcher
+
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n = queries.shape[0]
+    done_at = np.zeros(n, dtype=np.float64)
+    submitted_at = np.zeros(n, dtype=np.float64)
+
+    def _mark(i):
+        def callback(_future):
+            done_at[i] = time.perf_counter()
+
+        return callback
+
+    batcher = DynamicBatcher(
+        index,
+        k=k,
+        beam_width=beam_width,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+    )
+    start = time.perf_counter()
+    futures = []
+    for i, q in enumerate(queries):
+        submitted_at[i] = time.perf_counter()
+        future = batcher.submit(q)
+        future.add_done_callback(_mark(i))
+        futures.append(future)
+    for future in futures:
+        future.result()
+    elapsed = time.perf_counter() - start
+    stats = batcher.close()
+    latencies_ms = (done_at - submitted_at) * 1e3
+    return ServingPoint(
+        max_batch_size=int(max_batch_size),
+        max_wait_ms=float(max_wait_ms),
+        num_shards=int(num_shards),
+        qps=n / max(elapsed, 1e-12),
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        mean_batch=stats.mean_batch_size,
+        batches=stats.batches,
+    )
+
+
+def run_serving(
+    scenario: str = "memory",
+    dataset_name: str = "sift",
+    n_base: int = 2000,
+    n_queries: int = 64,
+    stream_len: int = 256,
+    batch_sizes: Sequence[int] = (1, 32),
+    wait_ms: Sequence[float] = (0.0, 2.0, 8.0),
+    num_shards: int = 1,
+    num_chunks: int = 8,
+    num_codewords: int = 32,
+    beam_width: int = 32,
+    k: int = 10,
+    quantizer_name: str = "pq",
+    graph_kind: str = "vamana",
+    seed: int = 0,
+    prepared: Optional[Prepared] = None,
+) -> List[ServingPoint]:
+    """QPS-vs-latency trade-off of the dynamic-batching serving layer.
+
+    Serves the same request stream (queries tiled to ``stream_len``)
+    through a batcher at every ``(max_batch_size, max_wait_ms)``
+    configuration; ``max_batch_size=1`` rows are the per-query serving
+    baseline (``max_wait_ms`` is irrelevant there, so it is measured
+    once).  ``num_shards > 1`` serves from a sharded fan-out index.
+    Pass ``prepared`` to reuse an existing dataset/graph/ground-truth
+    bundle (graph builds dominate setup time) instead of re-preparing
+    from the dataset parameters.
+    """
+    if prepared is None:
+        prepared = prepare(
+            dataset_name,
+            graph_kind,
+            n_base=n_base,
+            n_queries=n_queries,
+            k=k,
+            seed=seed,
+        )
+    quantizer = make_quantizer(
+        quantizer_name, prepared, num_chunks, num_codewords, seed=seed
+    )
+    index = make_index(
+        scenario, prepared, quantizer, seed=seed, num_shards=num_shards
+    )
+    queries = prepared.dataset.queries
+    reps = int(np.ceil(stream_len / len(queries)))
+    stream = np.tile(queries, (reps, 1))[:stream_len]
+
+    points: List[ServingPoint] = []
+    for batch_size in batch_sizes:
+        waits = [0.0] if batch_size == 1 else list(wait_ms)
+        for wait in waits:
+            points.append(
+                measure_serving(
+                    index,
+                    stream,
+                    k=k,
+                    beam_width=beam_width,
+                    max_batch_size=batch_size,
+                    max_wait_ms=wait,
+                    num_shards=num_shards,
+                )
+            )
+    return points
+
+
+def serving_speedup(points: Sequence[ServingPoint]) -> float:
+    """Best batched QPS over the per-query serving baseline's QPS."""
+    baseline = [p for p in points if p.max_batch_size == 1]
+    batched = [p for p in points if p.max_batch_size > 1]
+    if not baseline or not batched:
+        raise ValueError("need both a batch_size=1 and a batched point")
+    base_qps = max(p.qps for p in baseline)
+    return max(p.qps for p in batched) / max(base_qps, 1e-12)
 
 
 # ----------------------------------------------------------------------

@@ -47,7 +47,6 @@ class LearnedRoutingReweighter:
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
         n = x.shape[0]
         codes = quantizer.encode(x)
-        m = codes.shape[1]
 
         features = []
         targets = []

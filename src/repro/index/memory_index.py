@@ -23,7 +23,6 @@ from ..engine import BatchSearchResult, SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
-from ..quantization.codebook import Codebook
 
 
 @dataclass

@@ -1,0 +1,30 @@
+"""Serving layer: sharded fan-out search + dynamic-batching front end.
+
+This package turns the library into the shape of a server (see
+``docs/architecture.md``):
+
+* :class:`ShardedIndex` — partitions a dataset across per-shard
+  indexes (any scenario), fans ``search_batch`` out over a thread
+  pool, and merges per-query top-k across shards with one
+  ``argpartition`` per row; exact over the union of shard candidates,
+  bitwise identical to the unsharded index for a single shard.  Routes
+  ``insert_batch``/``delete`` for the streaming scenario.
+* :class:`DynamicBatcher` — a request queue that accumulates single
+  queries into micro-batches (size- or deadline-triggered; the
+  ``max_wait_ms`` knob trades latency for throughput) and answers them
+  through one ``search_batch`` call each.
+
+Both compose: a batcher over a sharded index is the classic
+DiskANN-server architecture — queue → batcher → sharded fan-out →
+merge.
+"""
+
+from .batcher import BatcherStats, DynamicBatcher
+from .sharded import ShardedIndex, partition_rows
+
+__all__ = [
+    "BatcherStats",
+    "DynamicBatcher",
+    "ShardedIndex",
+    "partition_rows",
+]

@@ -1,0 +1,252 @@
+"""Dynamic-batching request queue — the classic serving loop.
+
+Callers submit single queries and get a future back; a worker loop
+drains the queue into micro-batches and answers each batch with one
+``search_batch`` call.  A batch is dispatched when it reaches
+``max_batch_size`` or when ``max_wait_ms`` has elapsed since its first
+request — the latency/throughput knob: waiting longer builds bigger
+batches (higher QPS through the lockstep kernel) at the cost of queue
+latency on the first request of each batch.
+
+Because the engine's batch results are bitwise independent of batch
+composition (see ``docs/architecture.md``), dynamic batching never
+changes any caller's answer — only when it arrives.  The worker issues
+one ``search_batch`` at a time, which also serializes shard fan-out for
+a :class:`~repro.serving.sharded.ShardedIndex` backend.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+_STOP = object()
+
+
+@dataclass
+class _Request:
+    query: np.ndarray
+    future: Future
+
+
+@dataclass
+class BatcherStats:
+    """Counters the worker loop keeps (read them after ``close``).
+
+    ``recent_batch_sizes`` is a bounded window for introspection; the
+    lifetime mean comes from the running counters so a long-lived
+    batcher's stats stay O(1) in memory.
+    """
+
+    requests: int = 0
+    answered: int = 0
+    batches: int = 0
+    size_triggered: int = 0
+    deadline_triggered: int = 0
+    flush_triggered: int = 0
+    recent_batch_sizes: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=256)
+    )
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return float(self.answered / self.batches)
+
+
+class DynamicBatcher:
+    """Queue front end answering single-query requests in micro-batches.
+
+    Parameters
+    ----------
+    index:
+        Any index exposing ``search_batch(queries, k, beam_width)`` —
+        a plain scenario index or a
+        :class:`~repro.serving.sharded.ShardedIndex`.
+    k, beam_width, search_kwargs:
+        Fixed per batcher so every micro-batch is one homogeneous
+        ``search_batch`` call.  ``search_kwargs`` forwards scenario
+        extras that broadcast over any batch size — e.g. a *scalar*
+        label for the filtered scenario.  Per-query arrays cannot work
+        here: micro-batch composition is load-dependent, so anything
+        shaped ``(B, ...)`` would be matched to arbitrary requests.
+    max_batch_size:
+        Dispatch as soon as this many requests are queued.
+    max_wait_ms:
+        Dispatch at most this long after a batch's first request.
+        ``0`` disables waiting: each dispatch takes whatever is already
+        queued (pure size-capped greedy batching).
+    """
+
+    def __init__(
+        self,
+        index,
+        k: int = 10,
+        beam_width: int = 32,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        search_kwargs: Optional[dict] = None,
+        start: bool = True,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.index = index
+        self.k = int(k)
+        self.beam_width = int(beam_width)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.search_kwargs = dict(search_kwargs or {})
+        self.stats = BatcherStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        """Create and start the worker thread (caller holds the lock)."""
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def start(self) -> None:
+        """Spawn the worker loop (no-op if already running)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if self._thread is not None:
+                return
+            self._spawn_worker()
+
+    def submit(self, query: np.ndarray) -> Future:
+        """Enqueue one query; the future resolves to the scenario's
+        scalar result (``batch.row(i)``) once its micro-batch runs."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self.stats.requests += 1
+            self._queue.put(_Request(query, future))
+        return future
+
+    def close(self, flush: bool = True, timeout: Optional[float] = None):
+        """Stop the worker.
+
+        ``flush=True`` answers everything still queued (in batches, as
+        usual) before stopping — spinning the worker up if it was never
+        started; ``flush=False`` cancels the queued futures that have
+        not been claimed yet.  Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            if flush and not already and self._thread is None:
+                # A flush must answer what is queued even if nothing
+                # ever started the worker.
+                self._spawn_worker()
+        if not already:
+            if not flush:
+                while True:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is not _STOP:
+                        item.future.cancel()
+            self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.stats
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(flush=exc[0] is None)
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        stopping = False
+        while not stopping:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            # Greedy drain first: whatever is already queued rides along
+            # for free (this is the whole batch with max_wait_ms == 0).
+            while len(batch) < self.max_batch_size:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            # Then wait out the deadline for stragglers.
+            if (
+                not stopping
+                and len(batch) < self.max_batch_size
+                and self.max_wait_ms > 0
+            ):
+                deadline = time.monotonic() + self.max_wait_ms / 1000.0
+                while len(batch) < self.max_batch_size:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                    if nxt is _STOP:
+                        stopping = True
+                        break
+                    batch.append(nxt)
+            if len(batch) == self.max_batch_size:
+                self.stats.size_triggered += 1
+            elif stopping or self._closed:
+                self.stats.flush_triggered += 1
+            else:
+                self.stats.deadline_triggered += 1
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        live = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        self.stats.batches += 1
+        self.stats.recent_batch_sizes.append(len(live))
+        # Everything up to the row unpacking stays inside the guard: an
+        # exception anywhere (a ragged query stack, a scenario error)
+        # must resolve the futures, never kill the worker loop.
+        try:
+            queries = np.stack([r.query for r in live])
+            result = self.index.search_batch(
+                queries,
+                k=self.k,
+                beam_width=self.beam_width,
+                **self.search_kwargs,
+            )
+            rows = [result.row(i) for i in range(len(live))]
+        except BaseException as exc:  # propagate to every caller
+            for request in live:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, row in zip(live, rows):
+            request.future.set_result(row)
+        self.stats.answered += len(live)

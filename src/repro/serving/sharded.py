@@ -1,0 +1,414 @@
+"""Sharded fan-out search: partition the dataset, merge per-query top-k.
+
+A shard is simply a whole index (any of the five scenarios) over a
+partition of the dataset rows.  :class:`ShardedIndex` fans
+``search_batch`` out over the shards — each shard call is pure NumPy
+over read-only state, so a thread pool overlaps them despite the GIL —
+and merges the per-shard stacked ``(B, k)`` results with one
+``argpartition`` per row.  The merge is exact over the union of shard
+candidates: distances pass through untouched (no re-computation), ties
+break deterministically by (distance, shard, within-shard rank), and a
+single-shard index is bitwise identical to the unsharded one — the
+merge is a pure selection, never an approximation.
+
+For the streaming scenario the router also owns the write path:
+:meth:`insert_batch` routes rows to the least-loaded shard (stable
+tie-break on shard order) and :meth:`delete` forwards to the owning
+shard, with a global id space mapping the caller's ids onto
+``(shard, local-id)`` pairs.
+
+Shards are read-only during a search and every ``search_batch`` call
+issues exactly one task per shard, so one in-flight search at a time is
+safe on every scenario (the hybrid scenario's SSD counters are
+per-shard state).  The dynamic batcher
+(:class:`repro.serving.batcher.DynamicBatcher`) serializes searches by
+construction; callers driving a ShardedIndex from multiple threads
+directly must do their own serialization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def partition_rows(
+    n: int, num_shards: int, strategy: str = "contiguous"
+) -> List[np.ndarray]:
+    """Split ``range(n)`` into ``num_shards`` disjoint id arrays.
+
+    ``"contiguous"`` gives each shard a run of consecutive rows (the
+    layout a range-partitioned deployment would use); ``"round_robin"``
+    stripes rows across shards (better balance for sorted datasets).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if num_shards > n:
+        raise ValueError(
+            f"cannot split {n} rows across {num_shards} shards"
+        )
+    if strategy == "contiguous":
+        return list(np.array_split(np.arange(n, dtype=np.int64), num_shards))
+    if strategy == "round_robin":
+        return [
+            np.arange(s, n, num_shards, dtype=np.int64)
+            for s in range(num_shards)
+        ]
+    raise ValueError(
+        f"unknown partition strategy {strategy!r} "
+        "(expected 'contiguous' or 'round_robin')"
+    )
+
+
+class ShardedIndex:
+    """Fan-out wrapper over per-shard indexes with exact top-k merge.
+
+    Parameters
+    ----------
+    shards:
+        One index per shard.  All shards must be the same scenario
+        (their ``search_batch`` results are merged field-by-field into
+        the same result type).
+    global_ids:
+        Per shard, the global dataset id of each shard-local vertex
+        (``global_ids[s][local]``).  ``None`` means every shard starts
+        empty (the streaming scenario) and ids are assigned by
+        :meth:`insert_batch`.
+    max_workers:
+        Thread-pool width for the fan-out; defaults to one thread per
+        shard (capped at the CPU count).  ``1`` disables threading —
+        results are identical either way, only wall-clock changes.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[object],
+        global_ids: Optional[Sequence[np.ndarray]] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        shards = list(shards)
+        if not shards:
+            raise ValueError("need at least one shard")
+        if global_ids is None:
+            global_ids = [np.empty(0, dtype=np.int64) for _ in shards]
+        if len(global_ids) != len(shards):
+            raise ValueError(
+                f"{len(shards)} shards but {len(global_ids)} id maps"
+            )
+        self._shards = shards
+        self._global_ids = [
+            np.asarray(g, dtype=np.int64).reshape(-1) for g in global_ids
+        ]
+        for s, (shard, gids) in enumerate(zip(shards, self._global_ids)):
+            size = getattr(
+                shard,
+                "num_vertices",
+                getattr(getattr(shard, "graph", None), "num_vertices", None),
+            )
+            if size is not None and size != gids.size:
+                raise ValueError(
+                    f"shard {s} has {size} vertices but its id map "
+                    f"covers {gids.size}"
+                )
+        all_ids = (
+            np.concatenate(self._global_ids)
+            if any(g.size for g in self._global_ids)
+            else np.empty(0, dtype=np.int64)
+        )
+        if all_ids.size and (
+            all_ids.min() < 0 or np.unique(all_ids).size != all_ids.size
+        ):
+            raise ValueError("global ids must be non-negative and disjoint")
+        # Owner map for write routing (global id -> (shard, local id));
+        # built lazily so read-only scenarios never pay for it.
+        self._owner: Optional[Dict[int, tuple]] = None
+        self._next_global = int(all_ids.max()) + 1 if all_ids.size else 0
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        x: np.ndarray,
+        num_shards: int,
+        factory: Callable[..., object],
+        strategy: str = "contiguous",
+        row_arrays: Optional[Dict[str, np.ndarray]] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ShardedIndex":
+        """Partition ``x`` and build one index per shard.
+
+        ``factory(x_shard, **row_kwargs)`` must return a fitted index
+        over the shard's rows; ``row_arrays`` (e.g. ``labels`` for the
+        filtered scenario) are partitioned the same way and passed
+        through by name.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        parts = partition_rows(x.shape[0], num_shards, strategy)
+        shards = []
+        for idx in parts:
+            extra = {
+                name: np.asarray(arr)[idx]
+                for name, arr in (row_arrays or {}).items()
+            }
+            shards.append(factory(x[idx], **extra))
+        return cls(shards, global_ids=parts, max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[object]:
+        return list(self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Vertices per shard (streaming shards count tombstones too)."""
+        return [g.size for g in self._global_ids]
+
+    @property
+    def num_vertices(self) -> int:
+        return sum(self.shard_sizes())
+
+    @property
+    def num_active(self) -> int:
+        """Live vertices (streaming shards subtract tombstones)."""
+        return sum(
+            getattr(s, "num_active", g.size)
+            for s, g in zip(self._shards, self._global_ids)
+        )
+
+    # ------------------------------------------------------------------
+    # Read path: fan out + merge
+    # ------------------------------------------------------------------
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or min(
+                len(self._shards), os.cpu_count() or 1
+            )
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-shard",
+            )
+            # Call sites that never close() (sweeps building many
+            # sharded indexes) must not leak idle pools for the process
+            # lifetime: tie the pool's shutdown to this index's GC.
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, False
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out thread pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool_finalizer.detach()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _fan_out(
+        self, queries: np.ndarray, k: int, beam_width: int, kwargs: dict
+    ) -> List[object]:
+        """One ``search_batch`` per shard; results in shard order."""
+        if len(self._shards) == 1 or self._max_workers == 1:
+            return [
+                shard.search_batch(
+                    queries, k=k, beam_width=beam_width, **kwargs
+                )
+                for shard in self._shards
+            ]
+        pool = self._executor()
+        futures = [
+            pool.submit(
+                shard.search_batch,
+                queries,
+                k=k,
+                beam_width=beam_width,
+                **kwargs,
+            )
+            for shard in self._shards
+        ]
+        return [f.result() for f in futures]
+
+    def search(
+        self, query: np.ndarray, k: int = 10, beam_width: int = 32, **kwargs
+    ):
+        """Single-query fan-out (the ``B=1`` batch), scalar result."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        return self.search_batch(
+            query[None, :], k=k, beam_width=beam_width, **kwargs
+        ).row(0)
+
+    def search_batch(
+        self, queries: np.ndarray, k: int = 10, beam_width: int = 32, **kwargs
+    ):
+        """Fan ``search_batch`` out over shards and merge per-query top-k.
+
+        Extra keyword arguments (e.g. the filtered scenario's
+        ``labels``) are forwarded to every shard.  The returned object
+        is the shards' scenario result type with per-query counters
+        summed across shards (total work for that query) and ids mapped
+        back to the global id space.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        results = self._fan_out(queries, k, beam_width, kwargs)
+        return self._merge(results, k)
+
+    def _merge(self, results: List[object], k: int):
+        """Exact top-k over the union of shard candidates.
+
+        One ``argpartition`` per row selects the k best of the ``S*k``
+        shard candidates; ties at the selection boundary and in the
+        final ordering both break by concatenation position — lower
+        shard index first, then within-shard rank — so the merge is
+        deterministic and a single shard passes through bitwise.
+        """
+        id_blocks: List[np.ndarray] = []
+        d_blocks: List[np.ndarray] = []
+        for gids, result in zip(self._global_ids, results):
+            ids = result.ids[:, :k]
+            dists = result.distances[:, :k]
+            if ids.shape[1] < k:
+                pad = k - ids.shape[1]
+                ids = np.pad(ids, ((0, 0), (0, pad)), constant_values=-1)
+                dists = np.pad(
+                    dists, ((0, 0), (0, pad)), constant_values=np.inf
+                )
+            if gids.size:
+                mapped = np.where(ids >= 0, gids[np.maximum(ids, 0)], -1)
+            else:
+                mapped = np.full_like(ids, -1)
+            id_blocks.append(mapped)
+            d_blocks.append(dists)
+        all_ids = np.concatenate(id_blocks, axis=1)
+        all_d = np.concatenate(d_blocks, axis=1)
+        b = all_d.shape[0]
+
+        if b == 0:
+            out_ids = np.empty((0, k), dtype=np.int64)
+            out_d = np.empty((0, k), dtype=np.float64)
+            counts = np.empty(0, dtype=np.int64)
+        else:
+            part = np.argpartition(all_d, k - 1, axis=1)[:, :k]
+            kth = np.take_along_axis(all_d, part, axis=1).max(axis=1)
+            # Everything strictly below the k-th value is in; ties at
+            # the boundary fill the remaining slots left-to-right.
+            below = all_d < kth[:, None]
+            at = all_d == kth[:, None]
+            need = k - below.sum(axis=1)
+            sel = below | (at & (np.cumsum(at, axis=1) <= need[:, None]))
+            pos = np.nonzero(sel)[1].reshape(b, k)
+            d_sel = np.take_along_axis(all_d, pos, axis=1)
+            i_sel = np.take_along_axis(all_ids, pos, axis=1)
+            order = np.argsort(d_sel, axis=1, kind="stable")
+            out_d = np.take_along_axis(d_sel, order, axis=1)
+            out_ids = np.take_along_axis(i_sel, order, axis=1)
+            counts = (out_ids >= 0).sum(axis=1)
+
+        merged = {"ids": out_ids, "distances": out_d, "counts": counts}
+        first = results[0]
+        for field in dataclasses.fields(type(first)):
+            if field.name in merged:
+                continue
+            values = [getattr(r, field.name) for r in results]
+            if field.name == "beam_widths_used":
+                # The escalation each shard needed, not their sum.
+                merged[field.name] = np.maximum.reduce(values)
+            else:
+                merged[field.name] = np.sum(values, axis=0)
+        return type(first)(**merged)
+
+    # ------------------------------------------------------------------
+    # Write path (streaming scenario): routed inserts and deletes
+    # ------------------------------------------------------------------
+    def _require_streaming(self) -> None:
+        for shard in self._shards:
+            if not hasattr(shard, "insert_batch"):
+                raise TypeError(
+                    f"{type(shard).__name__} shards do not support "
+                    "inserts/deletes (streaming scenario only)"
+                )
+
+    def _owner_map(self) -> Dict[int, tuple]:
+        if self._owner is None:
+            self._owner = {
+                int(g): (s, local)
+                for s, gids in enumerate(self._global_ids)
+                for local, g in enumerate(gids)
+            }
+        return self._owner
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Route one insert; returns the assigned global id."""
+        return self.insert_batch(np.atleast_2d(vector))[0]
+
+    def insert_batch(self, vectors: np.ndarray) -> List[int]:
+        """Route rows to the least-loaded shards, preserving row order.
+
+        Assignment is deterministic: each row goes to the shard with
+        the fewest live vertices at that point (ties to the lowest
+        shard index), then every shard ingests its sub-batch through
+        its own lockstep ``insert_batch``.  Returns the global ids in
+        input-row order.
+        """
+        self._require_streaming()
+        rows = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        loads = [
+            int(getattr(s, "num_active", g.size))
+            for s, g in zip(self._shards, self._global_ids)
+        ]
+        per_shard_rows: List[List[int]] = [[] for _ in self._shards]
+        assignment = np.empty(rows.shape[0], dtype=np.int64)
+        for i in range(rows.shape[0]):
+            s = int(np.argmin(loads))
+            assignment[i] = s
+            per_shard_rows[s].append(i)
+            loads[s] += 1
+        global_ids = self._next_global + np.arange(
+            rows.shape[0], dtype=np.int64
+        )
+        self._next_global += rows.shape[0]
+        owner = self._owner_map()
+        for s, row_ids in enumerate(per_shard_rows):
+            if not row_ids:
+                continue
+            local_ids = self._shards[s].insert_batch(rows[row_ids])
+            fresh = global_ids[row_ids]
+            for g, local in zip(fresh, local_ids):
+                owner[int(g)] = (s, int(local))
+            self._global_ids[s] = np.concatenate(
+                [self._global_ids[s], fresh]
+            )
+        return [int(g) for g in global_ids]
+
+    def delete(self, global_id: int) -> None:
+        """Forward a delete to the shard owning ``global_id``."""
+        self._require_streaming()
+        try:
+            shard, local = self._owner_map()[int(global_id)]
+        except KeyError:
+            raise KeyError(f"no vertex {global_id}") from None
+        self._shards[shard].delete(local)
+
+    def consolidate(self) -> int:
+        """Run delete consolidation on every shard; total cleaned up."""
+        self._require_streaming()
+        return sum(int(s.consolidate()) for s in self._shards)

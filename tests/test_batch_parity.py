@@ -23,6 +23,10 @@ from repro.index import (
 )
 from repro.quantization import OptimizedProductQuantizer, ProductQuantizer
 
+# Heavyweight parity suite (full scalar-vs-batch sweeps per scenario).
+# Runs in tier-1 (`make test`) and the nightly CI lane, not the fast lane.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def setup():

@@ -19,6 +19,10 @@ from repro.graphs import build_hnsw, build_nsg, build_vamana
 from repro.index import StreamingIndex
 from repro.quantization import ProductQuantizer
 
+# Heavyweight parity suite: every case rebuilds graphs twice.  Runs
+# in tier-1 (`make test`) and the nightly CI lane, not the fast lane.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def x():

@@ -28,6 +28,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--shards", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "serve", "--shards", "-2"])
+
 
 class TestCommands:
     def test_profiles(self, capsys):
@@ -81,3 +87,21 @@ class TestCommands:
         )
         assert code == 0
         assert "imbalance" in capsys.readouterr().out
+
+    def test_experiment_serve(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "serve",
+                "--n-base",
+                "300",
+                "--batch-size",
+                "16",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dynamic-batching serving" in out
+        assert "speedup over per-query serving" in out

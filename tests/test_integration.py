@@ -11,7 +11,6 @@ the headline *qualitative* claims:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import RPQ, RPQTrainingConfig, chunk_balance_score, dimension_value_profile
@@ -20,6 +19,10 @@ from repro.graphs import build_hnsw, build_nsg, build_vamana
 from repro.index import DiskIndex, MemoryIndex
 from repro.metrics import recall_at_k
 from repro.quantization import ProductQuantizer
+
+# End-to-end RPQ training + index builds: the slowest suite in the
+# tree.  Runs in tier-1 (`make test`) and the nightly CI lane.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

@@ -84,10 +84,10 @@ class TestResidualQuantizer:
     def test_more_levels_reduce_error(self):
         x = clustered(n=600)
         errs = [
-            ResidualQuantizer(num_levels=l, num_codewords=16, seed=0)
+            ResidualQuantizer(num_levels=levels, num_codewords=16, seed=0)
             .fit(x)
             .quantization_error(x)
-            for l in (1, 2, 4)
+            for levels in (1, 2, 4)
         ]
         assert errs[0] > errs[1] > errs[2]
 
