@@ -8,7 +8,7 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-batch test-build bench-batch bench-build \
-	bench-serving smoke demo lint ci ci-full
+	bench-serving smoke smoke-examples demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -60,14 +60,22 @@ lint:
 smoke:
 	$(PYTHON) examples/quickstart.py
 
+# Every example on tiny synthetic data (REPRO_SMOKE=1 shrinks dataset
+# sizes and training epochs) — API drift in examples breaks the build.
+smoke-examples:
+	@set -e; for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		REPRO_SMOKE=1 $(PYTHON) $$ex; \
+	done
+
 # Fast lane — what CI runs on every push/PR (keep in lockstep with
 # .github/workflows/ci.yml).
-ci: lint test-fast smoke
+ci: lint test-fast smoke-examples
 
 # Full lane — nightly CI: full tier-1 plus the benchmark identity /
 # determinism checks.  Speedup gates are timing-flaky on shared
 # runners, so the nightly job sets REPRO_SKIP_SPEEDUP_GATES=1.
-ci-full: lint test smoke
+ci-full: lint test smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
 		bench_build.py bench_serving.py -q
 

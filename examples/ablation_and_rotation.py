@@ -7,13 +7,20 @@ Run with::
 Part 1 reproduces the Fig. 4 case study in text form: per-chunk variance
 mass before vs after the learned rotation.  Part 2 runs the Table 6/7
 ablation on one dataset: joint training vs neighborhood-only vs
-routing-only, measured by recall at a fixed beam width.
+routing-only, measured by recall at a fixed beam width.  The ablation
+indexes are constructed through the unified ``repro.api.build`` factory
+and queried through the typed request surface.
+
+Set ``REPRO_SMOKE=1`` to run on tiny data (the CI smoke lane).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from repro.api import IndexSpec, SearchRequest, build
 from repro.core import (
     RPQ,
     RPQTrainingConfig,
@@ -22,14 +29,15 @@ from repro.core import (
 )
 from repro.datasets import compute_ground_truth, load
 from repro.graphs import build_vamana
-from repro.index import MemoryIndex
 from repro.metrics import recall_at_k
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def config_for(mode: str) -> RPQTrainingConfig:
     return RPQTrainingConfig(
-        epochs=4,
-        num_triplets=256,
+        epochs=2 if SMOKE else 4,
+        num_triplets=128 if SMOKE else 256,
         num_queries=12,
         records_per_query=6,
         beam_width=8,
@@ -40,7 +48,8 @@ def config_for(mode: str) -> RPQTrainingConfig:
 
 
 def main() -> None:
-    data = load("sift", n_base=1200, n_queries=25, seed=0)
+    data = load("sift", n_base=300 if SMOKE else 1200,
+                n_queries=8 if SMOKE else 25, seed=0)
     graph = build_vamana(data.base, r=14, search_l=32, seed=0)
     gt = compute_ground_truth(data.base, data.queries, k=10)
 
@@ -70,10 +79,15 @@ def main() -> None:
     for mode in ("joint", "neighborhood", "routing"):
         model = RPQ(num_chunks, 32, config=config_for(mode), seed=0)
         model.fit(data.base, graph, training_sample=data.train)
-        index = MemoryIndex(graph, model.quantizer, data.base)
-        results = [index.search(q, k=10, beam_width=32) for q in data.queries]
-        recall = recall_at_k([r.ids for r in results], gt.ids)
-        hops = float(np.mean([r.hops for r in results]))
+        index = build(
+            IndexSpec(), data=data.base, graph=graph,
+            quantizer=model.quantizer,
+        )
+        response = index.search(
+            SearchRequest(queries=data.queries, k=10, beam_width=32)
+        )
+        recall = recall_at_k(list(response), gt.ids)
+        hops = float(np.mean(response.hops))
         rows.append((mode, recall, hops))
     for mode, recall, hops in rows:
         print(f"  RPQ ({mode:>12}) | recall@10 {recall:.3f} | hops {hops:5.1f}")

@@ -9,21 +9,45 @@ The paper's intro motivates ANNS with neural-embedding retrieval
 -norm "document embeddings" (the Deep profile), an NSG index, and a
 strict memory budget where the original vectors are dropped and search
 runs purely on RPQ codes.  It also demonstrates quantizer reuse — the
-same frozen RPQ serves NSG and HNSW indexes.
+same frozen RPQ serves NSG and HNSW indexes — and the declarative API:
+the whole deployment is described by a JSON ``IndexSpec`` and
+constructed through ``repro.api.build``, with the trained RPQ passed
+as an override.
+
+Set ``REPRO_SMOKE=1`` to run on tiny data (the CI smoke lane).
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.api import IndexSpec, SearchRequest, build
 from repro.core import RPQ, RPQTrainingConfig
 from repro.datasets import compute_ground_truth, load
-from repro.graphs import build_hnsw, build_nsg
-from repro.index import MemoryIndex
+from repro.graphs import build_nsg
 from repro.metrics import recall_at_k
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+# The deployment, described as data (what a config file would hold).
+SPEC_JSON = """
+{
+  "dataset": {"name": "deep", "n_base": %d, "n_queries": %d, "seed": 0},
+  "graph": {"kind": "nsg", "params": {"knn_k": 16, "r": 16, "search_l": 40}},
+  "scenario": {"kind": "memory"}
+}
+""" % ((300, 10) if SMOKE else (1500, 30))
 
 
 def main() -> None:
     print("== Embedding retrieval (in-memory, Deep-like) ==")
-    data = load("deep", n_base=1500, n_queries=30, seed=0)
+    spec = IndexSpec.from_json(SPEC_JSON)
+    data = load(
+        spec.dataset.name,
+        n_base=spec.dataset.n_base,
+        n_queries=spec.dataset.n_queries,
+        seed=spec.dataset.seed,
+    )
     print(
         f"dataset: {data.name}-like, {data.base.shape[0]} x {data.dim} "
         "(unit-normalized)"
@@ -33,27 +57,41 @@ def main() -> None:
     gt = compute_ground_truth(data.base, data.queries, k=10)
 
     config = RPQTrainingConfig(
-        epochs=4, num_triplets=256, num_queries=12, records_per_query=6,
-        beam_width=8, seed=0,
+        epochs=2 if SMOKE else 4, num_triplets=128 if SMOKE else 256,
+        num_queries=12, records_per_query=6, beam_width=8, seed=0,
     )
     rpq = RPQ(num_chunks=8, num_codewords=32, config=config, seed=0)
     rpq.fit(data.base, nsg, training_sample=data.train)
 
-    index = MemoryIndex(nsg, rpq.quantizer, data.base)
+    # One construction path for every scenario: the spec plus the
+    # already-fitted artifacts as overrides.
+    index = build(spec, data=data.base, graph=nsg, quantizer=rpq.quantizer)
     print(
         f"NSG-RPQ resident memory: {index.memory_bytes() / 1024:.0f} KiB vs "
         f"{index.full_precision_bytes() / 1024:.0f} KiB full precision"
     )
     for beam in (16, 32, 64):
-        results = [index.search(q, k=10, beam_width=beam) for q in data.queries]
-        recall = recall_at_k([r.ids for r in results], gt.ids)
+        response = index.search(
+            SearchRequest(queries=data.queries, k=10, beam_width=beam)
+        )
+        recall = recall_at_k(list(response), gt.ids)
         print(f"  NSG-RPQ  | beam {beam:>3} | recall@10 {recall:.3f}")
 
-    # The frozen quantizer is graph-agnostic: reuse it on HNSW.
-    hnsw = build_hnsw(data.base, m=8, ef_construction=48, seed=0)
-    index2 = MemoryIndex(hnsw, rpq.quantizer, data.base)
-    results = [index2.search(q, k=10, beam_width=32) for q in data.queries]
-    recall = recall_at_k([r.ids for r in results], gt.ids)
+    # The frozen quantizer is graph-agnostic: the same spec with the
+    # graph section swapped serves from HNSW.
+    hnsw_dict = spec.to_dict()
+    hnsw_dict["graph"] = {
+        "kind": "hnsw", "params": {"m": 8, "ef_construction": 48}
+    }
+    index2 = build(
+        IndexSpec.from_dict(hnsw_dict),
+        data=data.base,
+        quantizer=rpq.quantizer,
+    )
+    response = index2.search(
+        SearchRequest(queries=data.queries, k=10, beam_width=32)
+    )
+    recall = recall_at_k(list(response), gt.ids)
     print(f"  HNSW-RPQ | beam  32 | recall@10 {recall:.3f} (reused quantizer)")
 
 

@@ -10,52 +10,93 @@ full-precision vectors sit on a simulated SSD.  Routing uses ADC lookup
 tables; every expansion costs one page read, and exact distances from
 the fetched pages drive the final rerank.  The printout shows the
 recall / hops / simulated-I/O trade-off the paper's Fig. 5 plots.
+
+The hybrid scenario (SSD model included) is described by a declarative
+``IndexSpec`` and constructed through ``repro.api.build``; queries run
+through the typed ``SearchRequest`` surface, whose response carries the
+scenario's I/O counters per query.
+
+Set ``REPRO_SMOKE=1`` to run on tiny data (the CI smoke lane).
 """
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+
+from repro.api import (
+    DatasetSpec,
+    GraphSpec,
+    IndexSpec,
+    ScenarioSpec,
+    SearchRequest,
+    build,
+)
 from repro.core import RPQ, RPQTrainingConfig
 from repro.datasets import compute_ground_truth, load
 from repro.graphs import build_vamana
-from repro.index import DiskIndex, SSDConfig
 from repro.metrics import recall_at_k
 from repro.quantization import ProductQuantizer
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
     print("== Hybrid SSD+memory search (DiskANN-style) ==")
-    data = load("bigann", n_base=2000, n_queries=30, seed=0)
+    spec = IndexSpec(
+        dataset=DatasetSpec(
+            name="bigann",
+            n_base=400 if SMOKE else 2000,
+            n_queries=10 if SMOKE else 30,
+            seed=0,
+        ),
+        graph=GraphSpec(kind="vamana", params={"r": 16, "search_l": 40}),
+        scenario=ScenarioSpec(
+            kind="hybrid",
+            params={
+                "io_width": 4,
+                "ssd": {"read_latency_us": 100.0, "queue_parallelism": 8},
+            },
+        ),
+    )
+    data = load(
+        spec.dataset.name,
+        n_base=spec.dataset.n_base,
+        n_queries=spec.dataset.n_queries,
+        seed=spec.dataset.seed,
+    )
     print(f"dataset: {data.name}-like, {data.base.shape[0]} x {data.dim}")
 
     graph = build_vamana(data.base, r=16, search_l=40, seed=0)
     gt = compute_ground_truth(data.base, data.queries, k=10)
 
     config = RPQTrainingConfig(
-        epochs=4, num_triplets=256, num_queries=12, records_per_query=6,
-        beam_width=8, seed=0,
+        epochs=2 if SMOKE else 4, num_triplets=128 if SMOKE else 256,
+        num_queries=12, records_per_query=6, beam_width=8, seed=0,
     )
     rpq = RPQ(num_chunks=8, num_codewords=32, config=config, seed=0)
     rpq.fit(data.base, graph, training_sample=data.train)
     pq = ProductQuantizer(8, 32, seed=0).fit(data.train)
 
-    ssd = SSDConfig(read_latency_us=100.0, queue_parallelism=8)
-    print(f"SSD model: {ssd.read_latency_us:.0f}us/read, "
-          f"parallelism {ssd.queue_parallelism}")
+    ssd = spec.scenario.params["ssd"]
+    print(f"SSD model: {ssd['read_latency_us']:.0f}us/read, "
+          f"parallelism {ssd['queue_parallelism']}")
 
     for name, quantizer in (("DiskANN-PQ", pq), ("DiskANN-RPQ", rpq.quantizer)):
-        index = DiskIndex(graph, quantizer, data.base, ssd_config=ssd)
+        index = build(spec, data=data.base, graph=graph, quantizer=quantizer)
         print(
             f"\n{name}: RAM {index.memory_bytes() / 1024:.0f} KiB, "
             f"SSD {index.ssd_bytes() / 1024:.0f} KiB "
             f"(memory fraction f = {index.memory_fraction():.3f})"
         )
         for beam in (16, 32, 64):
-            results = [
-                index.search(q, k=10, beam_width=beam) for q in data.queries
-            ]
-            recall = recall_at_k([r.ids for r in results], gt.ids)
-            hops = sum(r.hops for r in results) / len(results)
-            io_ms = sum(r.simulated_io_us for r in results) / len(results) / 1000
+            response = index.search(
+                SearchRequest(queries=data.queries, k=10, beam_width=beam)
+            )
+            recall = recall_at_k(list(response), gt.ids)
+            hops = float(np.mean(response.hops))
+            io_ms = response.total("simulated_io_us") / response.num_queries / 1000
             print(
                 f"  beam {beam:>3} | recall@10 {recall:.3f} | hops {hops:5.1f} "
                 f"| simulated I/O {io_ms:6.2f} ms/query"

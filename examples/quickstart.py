@@ -24,14 +24,20 @@ id/distance arrays with per-query counters::
 
 Results are bitwise identical to looping ``search`` over the rows —
 only the wall clock changes (4x+ at batch size 64; see
-``benchmarks/bench_batch_throughput.py``).  The final section below
-demonstrates the speedup.
+``benchmarks/bench_batch_throughput.py``).  The final sections below
+demonstrate the speedup, the typed ``SearchRequest`` entry point, and
+the ``save_index`` / ``load_index`` persistence round trip.
+
+Set ``REPRO_SMOKE=1`` to run on tiny data (the CI smoke lane).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 
+from repro.api import SearchRequest, load_index, save_index
 from repro.core import RPQ, RPQTrainingConfig
 from repro.datasets import compute_ground_truth, load
 from repro.graphs import build_hnsw
@@ -39,10 +45,13 @@ from repro.index import MemoryIndex
 from repro.metrics import recall_at_k
 from repro.quantization import ProductQuantizer
 
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 
 def main() -> None:
     print("== RPQ quickstart ==")
-    data = load("sift", n_base=1500, n_queries=30, seed=0)
+    data = load("sift", n_base=300 if SMOKE else 1500,
+                n_queries=10 if SMOKE else 30, seed=0)
     print(f"dataset: {data.name}-like, {data.base.shape[0]} x {data.dim}")
 
     graph = build_hnsw(data.base, m=8, ef_construction=48, seed=0)
@@ -55,8 +64,8 @@ def main() -> None:
     gt = compute_ground_truth(data.base, data.queries, k=10)
 
     config = RPQTrainingConfig(
-        epochs=4,
-        num_triplets=256,
+        epochs=2 if SMOKE else 4,
+        num_triplets=128 if SMOKE else 256,
         num_queries=12,
         records_per_query=6,
         beam_width=8,
@@ -106,6 +115,26 @@ def main() -> None:
         f"batch search | {n} queries in one call | recall@10 {recall:.3f} | "
         f"{n / single_s:.0f} -> {n / batch_s:.0f} QPS "
         f"({single_s / batch_s:.1f}x, bitwise-identical results)"
+    )
+
+    # -- typed requests + persistence ----------------------------------
+    # The uniform API (repro.api): the same index answers a typed
+    # SearchRequest with a SearchResponse, and a save/load round trip
+    # reconstructs a bitwise-identical index in another process.
+    request = SearchRequest(queries=data.queries, k=10, beam_width=32)
+    response = index.search(request)
+    with tempfile.TemporaryDirectory() as tmp:
+        save_index(index, tmp)
+        reloaded = load_index(tmp)
+        again = reloaded.search(request)
+    identical = (response.ids == again.ids).all() and (
+        response.distances == again.distances
+    ).all()
+    print(
+        f"typed request | recall@10 "
+        f"{recall_at_k(list(response), gt.ids):.3f} | "
+        f"total hops {response.total('hops'):.0f} | "
+        f"save/load round trip bitwise-identical: {identical}"
     )
 
 

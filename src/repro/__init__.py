@@ -20,8 +20,24 @@ Subpackages
 ``repro.serving``
     Serving layer: sharded fan-out search and the dynamic-batching
     request queue (queue → batcher → sharded fan-out → merge).
+``repro.api``
+    The unified index API: declarative :class:`~repro.api.IndexSpec`,
+    the scenario registry behind :func:`~repro.api.build`, the typed
+    :class:`~repro.api.SearchRequest` /
+    :class:`~repro.api.SearchResponse` protocol every index speaks,
+    and :func:`~repro.api.save_index` / :func:`~repro.api.load_index`
+    persistence.  Its top-level names are re-exported here.
 
-Quick start::
+Quick start (declarative)::
+
+    import repro
+
+    spec = repro.IndexSpec.from_json(open("index.json").read())
+    index = repro.build(spec)
+    response = index.search(repro.SearchRequest(queries, k=10))
+    repro.save_index(index, "my-index/")
+
+Quick start (imperative)::
 
     from repro.core import RPQ
     from repro.datasets import load, compute_ground_truth
@@ -35,9 +51,12 @@ Quick start::
     result = index.search(data.queries[0], k=10, beam_width=32)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from typing import TYPE_CHECKING
 
 from . import (
+    api,
     autodiff,
     core,
     datasets,
@@ -48,8 +67,28 @@ from . import (
     quantization,
     serving,
 )
+from .api import (
+    IndexSpec,
+    SearchRequest,
+    SearchResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .api import build, load_index, save_index
+
+#: Registry/persistence names re-exported lazily (they pull in every
+#: scenario class; see ``repro.api.__getattr__``).
+_API_LAZY = {"build", "save_index", "load_index"}
+
+
+def __getattr__(name: str):
+    if name in _API_LAZY:
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
     "autodiff",
     "core",
     "datasets",
@@ -59,5 +98,11 @@ __all__ = [
     "metrics",
     "quantization",
     "serving",
+    "IndexSpec",
+    "SearchRequest",
+    "SearchResponse",
+    "build",
+    "save_index",
+    "load_index",
     "__version__",
 ]

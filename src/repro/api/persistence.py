@@ -1,0 +1,213 @@
+"""Index persistence: :func:`save_index` / :func:`load_index`.
+
+An index directory is self-describing and reconstructable in another
+process — the enabling step for process-backed shards and replication
+(see ROADMAP).  Layout::
+
+    <dir>/
+      index.json        # format version, scenario name, scenario state
+      spec.json         # the IndexSpec that built it (when known)
+      quantizer.npz     # repro.quantization.serialization format
+      graph.npz         # repro.graphs.serialization format (graph-backed
+                        # scenarios; streaming stores its live adjacency
+                        # in streaming_state.npz instead)
+      codes.npy         # compact codes (graph-backed scenarios)
+      ...               # scenario extras: vectors.npy (hybrid),
+                        # labels.npy (filtered), l2r_weights.npy (l2r),
+                        # streaming_state.npz (streaming)
+
+    # sharded indexes add one sub-directory per shard:
+      shard_000/ ... shard_NNN/   # each a full index directory
+      shard_000/global_ids.npy    # shard-local -> global id map
+
+Round-trip guarantee: every array is written exactly (codes, adjacency,
+codewords, vectors), so a loaded index answers any
+:class:`~repro.api.protocol.SearchRequest` bitwise identically to the
+live index it was saved from — pinned by ``tests/test_api_persistence``
+on all five scenarios and a sharded index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from .registry import get_scenario, scenario_for_index
+from .spec import IndexSpec, ScenarioSpec, ShardingSpec
+
+INDEX_FORMAT_VERSION = 1
+
+_INDEX_FILE = "index.json"
+_SPEC_FILE = "spec.json"
+_QUANTIZER_FILE = "quantizer.npz"
+_GRAPH_FILE = "graph.npz"
+
+
+def _shard_dirname(s: int) -> str:
+    return f"shard_{s:03d}"
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _read_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _save_spec(
+    index: object, dirpath: str, scenario_name: str, num_shards: int = 1
+) -> None:
+    spec = getattr(index, "spec", None)
+    if spec is None:
+        # Hand-constructed index: synthesize a minimal spec so the
+        # directory is still self-describing (dataset/graph/quantizer
+        # sections keep their defaults and are descriptive only).
+        spec = IndexSpec(
+            scenario=ScenarioSpec(kind=scenario_name),
+            sharding=ShardingSpec(num_shards=num_shards),
+        )
+    _write_json(os.path.join(dirpath, _SPEC_FILE), spec.to_dict())
+
+
+def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
+    """Persist ``index`` (any registered scenario, or sharded) to a
+    directory; returns the directory path.
+
+    The directory is created if needed; existing files are overwritten
+    (a save is a checkpoint, not a merge).
+    """
+    from ..serving import ShardedIndex
+
+    dirpath = os.fspath(dirpath)
+    os.makedirs(dirpath, exist_ok=True)
+
+    if isinstance(index, ShardedIndex):
+        names = set()
+        for s, (shard, gids) in enumerate(
+            zip(index._shards, index._global_ids)
+        ):
+            shard_dir = os.path.join(dirpath, _shard_dirname(s))
+            save_index(shard, shard_dir)
+            np.save(os.path.join(shard_dir, "global_ids.npy"), gids)
+            names.add(scenario_for_index(shard).name)
+        _write_json(
+            os.path.join(dirpath, _INDEX_FILE),
+            {
+                "format_version": INDEX_FORMAT_VERSION,
+                "scenario": "sharded",
+                "state": {
+                    "num_shards": index.num_shards,
+                    "next_global": int(index._next_global),
+                    "max_workers": index._max_workers,
+                    "shard_scenarios": sorted(names),
+                },
+            },
+        )
+        _save_spec(index, dirpath, sorted(names)[0], index.num_shards)
+        return dirpath
+
+    handler = scenario_for_index(index)
+
+    from ..quantization import save_quantizer
+
+    save_quantizer(
+        index.quantizer, os.path.join(dirpath, _QUANTIZER_FILE)
+    )
+    if handler.needs_graph:
+        from ..graphs.serialization import save_graph
+
+        save_graph(index.graph, os.path.join(dirpath, _GRAPH_FILE))
+    state = handler.save_state(index, dirpath)
+    _write_json(
+        os.path.join(dirpath, _INDEX_FILE),
+        {
+            "format_version": INDEX_FORMAT_VERSION,
+            "scenario": handler.name,
+            "state": state,
+        },
+    )
+    _save_spec(index, dirpath, handler.name)
+    return dirpath
+
+
+def load_index(dirpath: Union[str, os.PathLike]) -> object:
+    """Reconstruct an index saved by :func:`save_index`.
+
+    The loaded index carries the saved spec as ``index.spec`` and
+    answers searches bitwise identically to the index that was saved.
+    """
+    dirpath = os.fspath(dirpath)
+    meta_path = os.path.join(dirpath, _INDEX_FILE)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(
+            f"{dirpath} is not an index directory (no {_INDEX_FILE})"
+        )
+    meta = _read_json(meta_path)
+    version = int(meta.get("format_version", 1))
+    if version > INDEX_FORMAT_VERSION:
+        raise ValueError(
+            f"index directory {dirpath} has format version {version}; "
+            f"this build reads up to {INDEX_FORMAT_VERSION}"
+        )
+    scenario = meta["scenario"]
+    state = meta.get("state", {})
+
+    if scenario == "sharded":
+        from ..serving import ShardedIndex
+
+        num_shards = int(state["num_shards"])
+        shards, global_ids = [], []
+        for s in range(num_shards):
+            shard_dir = os.path.join(dirpath, _shard_dirname(s))
+            shards.append(load_index(shard_dir))
+            global_ids.append(
+                np.load(os.path.join(shard_dir, "global_ids.npy"))
+            )
+        index = ShardedIndex(
+            shards,
+            global_ids=global_ids,
+            max_workers=state.get("max_workers"),
+        )
+        index._next_global = int(state["next_global"])
+        _attach_spec(index, dirpath)
+        return index
+
+    handler = get_scenario(scenario)
+
+    from ..quantization import load_quantizer
+
+    quantizer = load_quantizer(os.path.join(dirpath, _QUANTIZER_FILE))
+    graph = None
+    if handler.needs_graph:
+        from ..graphs.serialization import load_graph
+
+        graph = load_graph(os.path.join(dirpath, _GRAPH_FILE))
+    index = handler.load(dirpath, state, graph, quantizer)
+    _attach_spec(index, dirpath)
+    return index
+
+
+def _attach_spec(index: object, dirpath: str) -> None:
+    spec_path = os.path.join(dirpath, _SPEC_FILE)
+    if os.path.exists(spec_path):
+        index.spec = IndexSpec.from_dict(_read_json(spec_path))
+
+
+def describe_index(dirpath: Union[str, os.PathLike]) -> dict:
+    """The ``index.json`` payload of a saved index (for tooling)."""
+    return _read_json(os.path.join(os.fspath(dirpath), _INDEX_FILE))
+
+
+def saved_spec(dirpath: Union[str, os.PathLike]) -> Optional[IndexSpec]:
+    """The saved :class:`IndexSpec`, if the directory has one."""
+    path = os.path.join(os.fspath(dirpath), _SPEC_FILE)
+    if not os.path.exists(path):
+        return None
+    return IndexSpec.from_dict(_read_json(path))

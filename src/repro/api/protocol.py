@@ -1,0 +1,206 @@
+"""The uniform index protocol: typed requests and responses.
+
+Every index scenario historically grew its own search surface —
+``search(query, k, beam_width)``, ``search_batch(queries, ...)``, a
+positional ``labels`` argument for the filtered scenario only.  This
+module collapses them into one typed entry point:
+
+* :class:`SearchRequest` — queries plus every knob (``k``,
+  ``beam_width``, optional per-query ``labels``, the filtered
+  scenario's ``max_beam_width`` escalation cap).
+* :class:`SearchResponse` — stacked ``(B, k)`` ids/distances, per-query
+  valid ``counts``, and a ``counters`` mapping carrying every
+  scenario-specific per-query counter (hops, distance computations,
+  I/O rounds, page reads, escalated beam widths, ...).
+* :func:`execute_request` — runs a request against any index exposing
+  ``search_batch``; this is what every index's ``search(request)``
+  overload dispatches to.
+
+The response is a pure repackaging of the scenario batch result: ids,
+distances, and all counters are the same arrays (bitwise), so the
+legacy per-scenario surfaces and the request path can be pinned
+identical by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+#: Batch-result fields lifted into :class:`SearchResponse` itself; every
+#: other per-query dataclass field becomes a ``counters`` entry.
+_CORE_FIELDS = ("ids", "distances", "counts")
+
+
+@dataclass
+class SearchRequest:
+    """One search call, described as data.
+
+    Parameters
+    ----------
+    queries:
+        ``(B, dim)`` query matrix or a single ``(dim,)`` query.
+    k:
+        Neighbors to return per query.
+    beam_width:
+        Routing beam width.
+    labels:
+        Filtered scenario only: the target label — a scalar
+        (broadcast over the batch) or a ``(B,)`` per-query array.
+        Supplying labels to a non-filtered index raises ``ValueError``.
+    max_beam_width:
+        Filtered scenario only: escalation cap for rare labels.
+        ``None`` keeps the index default.
+    """
+
+    queries: np.ndarray
+    k: int = 10
+    beam_width: int = 32
+    labels: Optional[np.ndarray] = None
+    max_beam_width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.queries = np.asarray(self.queries, dtype=np.float64)
+        if self.queries.ndim > 2:
+            raise ValueError(
+                f"queries must be (dim,) or (B, dim), got shape "
+                f"{self.queries.shape}"
+            )
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+
+    @property
+    def query_matrix(self) -> np.ndarray:
+        """The queries as a 2-D ``(B, dim)`` matrix."""
+        return np.atleast_2d(self.queries)
+
+    @property
+    def num_queries(self) -> int:
+        return self.query_matrix.shape[0]
+
+
+@dataclass
+class SearchResponse:
+    """Uniform result of one :class:`SearchRequest`.
+
+    ``ids`` / ``distances`` are ``(B, k)`` with row ``b``'s first
+    ``counts[b]`` entries valid (``-1`` / ``inf`` padding beyond);
+    ``counters`` maps counter names (``"hops"``,
+    ``"distance_computations"``, and scenario extras like
+    ``"page_reads"`` or ``"beam_widths_used"``) to per-query arrays.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    counters: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def hops(self) -> np.ndarray:
+        return self.counters["hops"]
+
+    @property
+    def distance_computations(self) -> np.ndarray:
+        return self.counters["distance_computations"]
+
+    def total(self, counter: str) -> float:
+        """Aggregate one per-query counter over the batch."""
+        return float(np.sum(self.counters[counter]))
+
+    def row_ids(self, i: int) -> np.ndarray:
+        """Query ``i``'s valid neighbor ids."""
+        return self.ids[i, : int(self.counts[i])]
+
+    def row_distances(self, i: int) -> np.ndarray:
+        """Query ``i``'s valid distances."""
+        return self.distances[i, : int(self.counts[i])]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate per-query valid id arrays (recall-metric friendly)."""
+        return (self.row_ids(i) for i in range(self.num_queries))
+
+
+@runtime_checkable
+class Index(Protocol):
+    """What every scenario index, ``ShardedIndex``, and the batcher
+    expose: the uniform request entry point."""
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        ...
+
+
+def supports_labels(index: object) -> bool:
+    """Whether ``index`` is (or fans out over) the filtered scenario."""
+    return bool(getattr(index, "supports_labels", False))
+
+
+def response_from_batch(batch: object) -> SearchResponse:
+    """Repackage a scenario ``*BatchResult`` dataclass as a response.
+
+    The arrays are passed through untouched — no copies, no recompute —
+    so the response is bitwise identical to the legacy surface.
+    """
+    import dataclasses
+
+    counters = {
+        f.name: getattr(batch, f.name)
+        for f in dataclasses.fields(batch)
+        if f.name not in _CORE_FIELDS
+    }
+    return SearchResponse(
+        ids=batch.ids,
+        distances=batch.distances,
+        counts=batch.counts,
+        counters=counters,
+    )
+
+
+def execute_request(index: object, request: SearchRequest) -> SearchResponse:
+    """Run ``request`` against any index exposing ``search_batch``.
+
+    Centralizes the label-uniformity rules: labels on a non-filtered
+    index raise ``ValueError`` (instead of the old positional
+    ``TypeError``), and the filtered scenario without labels raises
+    ``ValueError`` too.
+    """
+    queries = request.query_matrix
+    filtered = supports_labels(index)
+    if not filtered:
+        if request.labels is not None:
+            raise ValueError(
+                f"labels were supplied but {type(index).__name__} is not "
+                "a filtered-scenario index; drop request.labels or build "
+                "a 'filtered' index"
+            )
+        if request.max_beam_width is not None:
+            raise ValueError(
+                "max_beam_width is the filtered scenario's escalation "
+                f"cap but {type(index).__name__} is not a "
+                "filtered-scenario index; drop request.max_beam_width"
+            )
+    if filtered:
+        if request.labels is None:
+            raise ValueError(
+                f"{type(index).__name__} is a filtered-scenario index "
+                "and requires request.labels (a scalar or per-query "
+                "array of target labels)"
+            )
+        kwargs = {"labels": request.labels}
+        if request.max_beam_width is not None:
+            kwargs["max_beam_width"] = int(request.max_beam_width)
+        batch = index.search_batch(
+            queries, k=request.k, beam_width=request.beam_width, **kwargs
+        )
+    else:
+        batch = index.search_batch(
+            queries, k=request.k, beam_width=request.beam_width
+        )
+    return response_from_batch(batch)

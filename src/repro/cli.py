@@ -11,6 +11,12 @@ Commands
     Run one of the paper-artifact drivers (table2, fig4, batch, build)
     or the serving-layer driver (``serve`` — dynamic batching QPS vs
     latency, optionally over a sharded index) and print it.
+``index``
+    The declarative workflow (a thin wrapper over :mod:`repro.api`):
+    ``index build`` constructs an index from a JSON ``IndexSpec`` (or
+    flags) and persists it with ``save_index``; ``index search`` loads
+    a saved directory and serves typed requests against it;
+    ``index describe`` prints a saved directory's metadata.
 """
 
 from __future__ import annotations
@@ -57,7 +63,6 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets import compute_ground_truth, load
     from .eval import format_table
     from .graphs import build_hnsw, build_nsg, build_vamana
-    from .index import DiskIndex, MemoryIndex
     from .metrics import recall_at_k
     from .quantization import ProductQuantizer
 
@@ -79,13 +84,36 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rpq.fit(data.base, graph, training_sample=data.train)
     pq = ProductQuantizer(args.chunks, args.codewords, seed=args.seed).fit(data.train)
 
+    from .api import (
+        DatasetSpec,
+        GraphSpec,
+        IndexSpec,
+        ScenarioSpec,
+        ShardingSpec,
+        build,
+    )
     from .eval.sweep import run_queries_batched
 
-    storage_dtype = np.float32 if args.float32 else np.float64
+    scenario_params = {"storage_dtype": "float32"} if args.float32 else {}
+    spec = IndexSpec(
+        dataset=DatasetSpec(
+            name=args.dataset,
+            n_base=args.n_base,
+            n_queries=args.n_queries,
+            seed=args.seed,
+        ),
+        graph=GraphSpec(kind=args.graph, seed=args.seed),
+        scenario=ScenarioSpec(
+            kind="memory" if args.scenario == "memory" else "hybrid",
+            params=scenario_params,
+        ),
+        sharding=ShardingSpec(num_shards=args.shards),
+    )
+    shard_parts = shard_graphs = None
     if args.shards > 1:
         # Shard graphs depend only on the rows, so build them once and
         # share them across the PQ/RPQ comparison below.
-        from .serving import ShardedIndex, partition_rows
+        from .serving import partition_rows
 
         shard_parts = partition_rows(data.base.shape[0], args.shards)
         shard_graphs = [
@@ -93,24 +121,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ]
     rows = []
     for name, quantizer in (("PQ", pq), ("RPQ", rpq.quantizer)):
-
-        def build_one(shard_graph, x):
-            if args.scenario == "memory":
-                return MemoryIndex(
-                    shard_graph, quantizer, x, storage_dtype=storage_dtype
-                )
-            return DiskIndex(shard_graph, quantizer, x)
-
-        if args.shards > 1:
-            index = ShardedIndex(
-                [
-                    build_one(g, data.base[idx])
-                    for g, idx in zip(shard_graphs, shard_parts)
-                ],
-                global_ids=shard_parts,
-            )
-        else:
-            index = build_one(graph, data.base)
+        # Everything constructs through the unified factory; the demo
+        # only supplies its pre-built artifacts as overrides.
+        index = build(
+            spec,
+            data=data.base,
+            quantizer=quantizer,
+            graph=None if args.shards > 1 else graph,
+            shard_parts=shard_parts,
+            shard_graphs=shard_graphs,
+        )
         # Everything routes through the unified engine; --batch-size
         # only sets how many queries share each kernel call.
         results = run_queries_batched(
@@ -266,6 +286,127 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .api import (
+        DatasetSpec,
+        GraphSpec,
+        IndexSpec,
+        QuantizerSpec,
+        ScenarioSpec,
+        ShardingSpec,
+        build,
+        describe_index,
+        load_index,
+        save_index,
+        saved_spec,
+    )
+
+    if args.action == "build":
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                spec = IndexSpec.from_json(fh.read())
+        else:
+            spec = IndexSpec(
+                dataset=DatasetSpec(
+                    name=args.dataset,
+                    n_base=args.n_base,
+                    n_queries=args.n_queries,
+                    seed=args.seed,
+                ),
+                graph=GraphSpec(kind=args.graph, seed=args.seed),
+                quantizer=QuantizerSpec(
+                    kind=args.quantizer,
+                    num_chunks=args.chunks,
+                    num_codewords=args.codewords,
+                    seed=args.seed,
+                ),
+                scenario=ScenarioSpec(kind=args.scenario),
+                sharding=ShardingSpec(num_shards=args.shards),
+            )
+        if spec.quantizer.kind == "catalyst":
+            # Fail before the expensive build: Catalyst's MLP is
+            # trainable state that quantization.serialization does not
+            # persist, and `index build` always saves.
+            print(
+                "quantizer 'catalyst' cannot be persisted (see "
+                "repro.quantization.serialization); pick pq/opq/lnc/rpq "
+                "for `index build`",
+                file=sys.stderr,
+            )
+            return 2
+        index = build(spec)
+        save_index(index, args.out)
+        print(
+            f"built scenario={spec.scenario.kind} "
+            f"shards={spec.sharding.num_shards} -> {args.out}"
+        )
+        return 0
+
+    if args.action == "describe":
+        meta = describe_index(args.dir)
+        print(f"scenario: {meta['scenario']}")
+        for key, value in sorted(meta.get("state", {}).items()):
+            print(f"  {key}: {value}")
+        spec = saved_spec(args.dir)
+        if spec is not None:
+            print("spec:")
+            print(spec.to_json())
+        return 0
+
+    if args.action == "search":
+        from .api import SearchRequest
+        from .datasets import compute_ground_truth, load
+        from .metrics import recall_at_k
+
+        index = load_index(args.dir)
+        spec = getattr(index, "spec", None)
+        if spec is None:
+            print(f"{args.dir} has no spec.json", file=sys.stderr)
+            return 2
+        size = getattr(index, "num_vertices", None)
+        if size is None:
+            size = getattr(getattr(index, "graph", None), "num_vertices", None)
+        if size is not None and size != spec.dataset.n_base:
+            # The dataset section is only descriptive for indexes built
+            # from a data= override (or hand-built and saved); queries
+            # regenerated from it would score against a corpus the
+            # index never saw.
+            print(
+                f"index holds {size} vectors but its spec describes "
+                f"n_base={spec.dataset.n_base}; refusing to evaluate "
+                "against a regenerated dataset (the index was likely "
+                "built from explicit data rather than the spec)",
+                file=sys.stderr,
+            )
+            return 2
+        data = load(
+            spec.dataset.name,
+            n_base=spec.dataset.n_base,
+            n_queries=spec.dataset.n_queries,
+            seed=spec.dataset.seed,
+        )
+        request = SearchRequest(
+            queries=data.queries,
+            k=args.k,
+            beam_width=args.beam,
+            labels=args.label if spec.scenario.kind == "filtered" else None,
+        )
+        response = index.search(request)
+        line = (
+            f"{response.num_queries} queries | "
+            f"mean hops {float(np.mean(response.hops)):.1f}"
+        )
+        if spec.scenario.kind != "filtered":
+            gt = compute_ground_truth(data.base, data.queries, k=args.k)
+            recall = recall_at_k(list(response), gt.ids)
+            line += f" | recall@{args.k} {recall:.3f}"
+        print(line)
+        return 0
+
+    print(f"unknown index action {args.action!r}", file=sys.stderr)
+    return 2
+
+
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed < 1:
@@ -343,6 +484,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="'serve' experiment: fan the index out across this many shards",
     )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_index = sub.add_parser(
+        "index", help="declarative build / persist / serve workflow"
+    )
+    index_sub = p_index.add_subparsers(dest="action", required=True)
+
+    p_build = index_sub.add_parser(
+        "build", help="build an index from an IndexSpec and save it"
+    )
+    p_build.add_argument(
+        "--spec", default="", help="JSON IndexSpec file (overrides flags)"
+    )
+    p_build.add_argument("--out", required=True, help="output directory")
+    p_build.add_argument("--dataset", default="sift")
+    p_build.add_argument(
+        "--graph", choices=("hnsw", "nsg", "vamana"), default="vamana"
+    )
+    p_build.add_argument(
+        "--scenario",
+        choices=("memory", "hybrid", "streaming", "filtered", "l2r"),
+        default="memory",
+    )
+    p_build.add_argument(
+        "--quantizer",
+        choices=("pq", "opq", "lnc", "catalyst", "rpq"),
+        default="pq",
+    )
+    p_build.add_argument("--n-base", type=int, default=800)
+    p_build.add_argument("--n-queries", type=int, default=20)
+    p_build.add_argument("--chunks", type=int, default=8)
+    p_build.add_argument("--codewords", type=int, default=32)
+    p_build.add_argument("--shards", type=_positive_int, default=1)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.set_defaults(func=_cmd_index)
+
+    p_search = index_sub.add_parser(
+        "search", help="load a saved index and serve its spec'd queries"
+    )
+    p_search.add_argument("--dir", required=True, help="index directory")
+    p_search.add_argument("--k", type=_positive_int, default=10)
+    p_search.add_argument("--beam", type=_positive_int, default=32)
+    p_search.add_argument(
+        "--label",
+        type=int,
+        default=0,
+        help="filtered scenario: target label for every query",
+    )
+    p_search.set_defaults(func=_cmd_index)
+
+    p_describe = index_sub.add_parser(
+        "describe", help="print a saved index directory's metadata"
+    )
+    p_describe.add_argument("--dir", required=True, help="index directory")
+    p_describe.set_defaults(func=_cmd_index)
+
     return parser
 
 

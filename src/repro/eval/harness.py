@@ -28,15 +28,8 @@ from ..core import (
 from ..datasets import Dataset, compute_ground_truth, load
 from ..datasets.ground_truth import GroundTruth
 from ..graphs import ProximityGraph, build_hnsw, build_nsg, build_vamana
-from ..index import DiskIndex, L2RIndex, MemoryIndex
 from ..metrics.recall import recall_at_k
-from ..quantization import (
-    BaseQuantizer,
-    CatalystQuantizer,
-    LinkAndCodeQuantizer,
-    OptimizedProductQuantizer,
-    ProductQuantizer,
-)
+from ..quantization import BaseQuantizer
 from .sweep import OperatingPoint, max_recall, metric_at_recall, sweep_beam
 
 # ----------------------------------------------------------------------
@@ -93,18 +86,12 @@ def prepare(
 
 
 def quick_rpq_config(**overrides) -> RPQTrainingConfig:
-    """Training config sized for laptop-scale experiments."""
-    defaults = dict(
-        epochs=4,
-        batch_triplets=48,
-        batch_records=10,
-        num_triplets=192,
-        num_queries=12,
-        records_per_query=6,
-        beam_width=8,
-        refresh_routing_every=2,
-        seed=0,
-    )
+    """Training config sized for laptop-scale experiments (the same
+    defaults the spec path uses — see
+    :data:`repro.api.registry.RPQ_QUICK_CONFIG`)."""
+    from ..api.registry import RPQ_QUICK_CONFIG
+
+    defaults = dict(RPQ_QUICK_CONFIG)
     defaults.update(overrides)
     return RPQTrainingConfig(**defaults)
 
@@ -124,27 +111,21 @@ def make_quantizer(
     """
     x = prepared.dataset.base
     train = prepared.dataset.train
-    if name == "pq":
-        return ProductQuantizer(num_chunks, num_codewords, seed=seed).fit(train)
-    if name == "opq":
-        return OptimizedProductQuantizer(
-            num_chunks, num_codewords, opq_iter=5, seed=seed
-        ).fit(train)
-    if name == "catalyst":
-        out_dim = max(num_chunks, (x.shape[1] // 2 // num_chunks) * num_chunks)
-        return CatalystQuantizer(
-            num_chunks,
-            num_codewords,
-            out_dim=out_dim,
-            hidden_dim=2 * x.shape[1],
-            epochs=6,
-            batch_size=128,
-            seed=seed,
-        ).fit(train)
-    if name == "lnc":
-        return LinkAndCodeQuantizer(
-            num_chunks, num_codewords, n_sq=1, seed=seed
-        ).fit(train)
+    if name in ("pq", "opq", "catalyst", "lnc"):
+        # One kind-to-constructor mapping for the whole repo: the spec
+        # path's quantizer factory (same defaults, same fit sample).
+        from ..api import QuantizerSpec
+        from ..api.registry import build_quantizer_from_spec
+
+        return build_quantizer_from_spec(
+            QuantizerSpec(
+                kind=name,
+                num_chunks=num_chunks,
+                num_codewords=num_codewords,
+                seed=seed,
+            ),
+            train,
+        )
     if name in ("rpq", "rpq_n", "rpq_r"):
         config = rpq_config or quick_rpq_config(seed=seed)
         if name == "rpq_n":
@@ -164,6 +145,32 @@ def make_quantizer(
     raise KeyError(f"unknown quantizer {name!r}")
 
 
+def _scenario_spec(scenario: str, method: str = "", seed: int = 0):
+    """Map the harness's ``(scenario, method)`` naming onto a registry
+    :class:`~repro.api.ScenarioSpec`.
+
+    ``method == 'l2r'`` swaps in the learning-to-route variant: the
+    quantizer stays fixed and a learned reweighting of the ADC tables
+    stands in for the routing model (memory scenario uses the ``l2r``
+    registry entry; the hybrid scenario passes ``learned_routing``
+    through to the disk index's table transform).
+    """
+    from ..api import ScenarioSpec
+
+    if scenario == "memory":
+        if method == "l2r":
+            return ScenarioSpec(kind="l2r", params={"seed": seed})
+        return ScenarioSpec(kind="memory")
+    if scenario == "hybrid":
+        if method == "l2r":
+            return ScenarioSpec(
+                kind="hybrid",
+                params={"learned_routing": True, "l2r_seed": seed},
+            )
+        return ScenarioSpec(kind="hybrid")
+    raise KeyError(f"unknown scenario {scenario!r}")
+
+
 def _single_index(
     scenario: str,
     graph: ProximityGraph,
@@ -172,29 +179,12 @@ def _single_index(
     method: str = "",
     seed: int = 0,
 ):
-    """One unsharded index over ``(graph, x)`` for a scenario/method."""
-    if scenario == "memory":
-        if method == "l2r":
-            return L2RIndex(
-                graph, quantizer, x, rng=np.random.default_rng(seed)
-            )
-        return MemoryIndex(graph, quantizer, x)
-    if scenario == "hybrid":
-        if method == "l2r":
-            from ..index.l2r import LearnedRoutingReweighter
+    """One unsharded index over ``(graph, x)`` for a scenario/method —
+    a thin wrapper over the unified :func:`repro.api.build` factory."""
+    from ..api import IndexSpec, build
 
-            reweighter = LearnedRoutingReweighter.fit(
-                quantizer, x, rng=np.random.default_rng(seed)
-            )
-            return DiskIndex(
-                graph,
-                quantizer,
-                x,
-                table_transform=reweighter.reweight,
-                table_transform_batch=reweighter.reweight_batch,
-            )
-        return DiskIndex(graph, quantizer, x)
-    raise KeyError(f"unknown scenario {scenario!r}")
+    spec = IndexSpec(scenario=_scenario_spec(scenario, method, seed))
+    return build(spec, data=x, graph=graph, quantizer=quantizer)
 
 
 def make_index(
@@ -205,22 +195,34 @@ def make_index(
     seed: int = 0,
     num_shards: int = 1,
 ):
-    """Instantiate the scenario's index (``memory`` or ``hybrid``).
-
-    ``method == 'l2r'`` swaps in the learning-to-route variant: the
-    quantizer stays fixed and a learned reweighting of the ADC tables
-    stands in for the routing model (memory scenario uses
-    :class:`L2RIndex`; the hybrid scenario passes the reweighter as the
-    disk index's ``table_transform``).
+    """Instantiate the scenario's index (``memory`` or ``hybrid``)
+    through the unified :func:`repro.api.build` factory.
 
     ``num_shards > 1`` partitions the dataset and builds one index —
     including its own graph, with the prepared graph kind and seed —
     per shard, wrapped in a fan-out
-    :class:`~repro.serving.sharded.ShardedIndex`.
+    :class:`~repro.serving.sharded.ShardedIndex`.  Per-shard graphs are
+    cached on ``prepared`` (they depend only on the rows and seed) and
+    passed to :func:`~repro.api.build` as overrides.
     """
+    from ..api import (
+        DatasetSpec,
+        GraphSpec,
+        IndexSpec,
+        ShardingSpec,
+        build,
+    )
+
     x = prepared.dataset.base
+    dataset_spec = DatasetSpec(
+        name=prepared.dataset.name,
+        n_base=int(x.shape[0]),
+        n_queries=int(prepared.dataset.queries.shape[0]),
+        seed=prepared.seed,
+    )
+    graph_spec = GraphSpec(kind=prepared.graph_kind, seed=prepared.seed)
     if num_shards > 1:
-        from ..serving import ShardedIndex, partition_rows
+        from ..serving import partition_rows
 
         if num_shards not in prepared.shard_graph_cache:
             parts = partition_rows(x.shape[0], num_shards)
@@ -230,16 +232,25 @@ def make_index(
                 [builder(x[idx], prepared.seed) for idx in parts],
             )
         parts, graphs = prepared.shard_graph_cache[num_shards]
-        shards = [
-            _single_index(
-                scenario, g, quantizer, x[idx], method=method, seed=seed
-            )
-            for g, idx in zip(graphs, parts)
-        ]
-        return ShardedIndex(shards, global_ids=parts)
-    return _single_index(
-        scenario, prepared.graph, quantizer, x, method=method, seed=seed
+        spec = IndexSpec(
+            dataset=dataset_spec,
+            graph=graph_spec,
+            scenario=_scenario_spec(scenario, method, seed),
+            sharding=ShardingSpec(num_shards=num_shards),
+        )
+        return build(
+            spec,
+            data=x,
+            quantizer=quantizer,
+            shard_parts=parts,
+            shard_graphs=graphs,
+        )
+    spec = IndexSpec(
+        dataset=dataset_spec,
+        graph=graph_spec,
+        scenario=_scenario_spec(scenario, method, seed),
     )
+    return build(spec, data=x, graph=prepared.graph, quantizer=quantizer)
 
 
 # ----------------------------------------------------------------------

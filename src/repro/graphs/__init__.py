@@ -9,6 +9,9 @@
   :class:`BatchSearchResult`, :class:`BeamStep`.
 * :class:`ProximityGraph` — shared container (paper Def. 2).
 * :func:`exact_knn` — blocked brute-force kNN.
+* :func:`save_graph` / :func:`load_graph` — exact on-disk round trip
+  of built graphs (flat and HNSW), used by :mod:`repro.api`'s index
+  persistence.
 """
 
 from .base import ProximityGraph, medoid
@@ -27,6 +30,7 @@ from .beam import (
 from .hnsw import HNSW, build_hnsw
 from .knn_graph import exact_knn, knn_graph_adjacency
 from .nsg import build_nsg
+from .serialization import load_graph, save_graph
 from .vamana import build_vamana, robust_prune
 
 __all__ = [
@@ -49,4 +53,6 @@ __all__ = [
     "robust_prune",
     "exact_knn",
     "knn_graph_adjacency",
+    "save_graph",
+    "load_graph",
 ]

@@ -1,0 +1,109 @@
+"""Saving and loading built proximity graphs.
+
+The declarative index API (:mod:`repro.api`) needs graphs that can be
+written to disk and reconstructed in another process — the enabling
+step for process-backed shards and replicas.  Everything goes into one
+``.npz``: the flat adjacency as a ``(degrees, flat)`` ragged pair, the
+entry point, and — for HNSW — every upper routing layer in the same
+ragged encoding.
+
+Round-trip guarantee: adjacency arrays, entry point, and upper layers
+come back exactly (int64 for int64), so a search over a loaded graph is
+bitwise identical to one over the original.  ``build_stats`` is
+ephemeral build telemetry and is intentionally not persisted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from .base import ProximityGraph
+from .hnsw import HNSW
+
+GRAPH_FORMAT_VERSION = 1
+
+
+def _pack_ragged(lists: List[np.ndarray]):
+    """Encode a list of int arrays as (degrees, flat concatenation)."""
+    degrees = np.array([np.asarray(a).size for a in lists], dtype=np.int64)
+    if degrees.sum():
+        flat = np.concatenate(
+            [np.asarray(a, dtype=np.int64).reshape(-1) for a in lists]
+        )
+    else:
+        flat = np.empty(0, dtype=np.int64)
+    return degrees, flat
+
+
+def _unpack_ragged(degrees: np.ndarray, flat: np.ndarray) -> List[np.ndarray]:
+    """Invert :func:`_pack_ragged`."""
+    if degrees.size == 0:
+        # np.split(flat, []) would yield one (empty) chunk, not zero.
+        return []
+    return [
+        a.astype(np.int64, copy=False)
+        for a in np.split(flat, np.cumsum(degrees)[:-1])
+    ]
+
+
+def save_graph(graph: ProximityGraph, path: Union[str, os.PathLike]) -> None:
+    """Serialize a built graph (flat or HNSW) to ``path`` (``.npz``)."""
+    degrees, flat = _pack_ragged(graph.adjacency)
+    payload = {
+        "format_version": np.array(GRAPH_FORMAT_VERSION),
+        "kind": np.array("hnsw" if isinstance(graph, HNSW) else "pg"),
+        "name": np.array(graph.name),
+        "entry_point": np.array(graph.entry_point),
+        "degrees": degrees,
+        "flat": flat,
+    }
+    if isinstance(graph, HNSW):
+        payload["max_level"] = np.array(graph.max_level)
+        payload["num_layers"] = np.array(len(graph.upper_layers))
+        for i, layer in enumerate(graph.upper_layers):
+            vertices = np.array(list(layer.keys()), dtype=np.int64)
+            ldeg, lflat = _pack_ragged([layer[int(v)] for v in vertices])
+            payload[f"layer{i}_vertices"] = vertices
+            payload[f"layer{i}_degrees"] = ldeg
+            payload[f"layer{i}_flat"] = lflat
+    np.savez(path, **payload)
+
+
+def load_graph(path: Union[str, os.PathLike]) -> ProximityGraph:
+    """Reconstruct a graph saved by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version > GRAPH_FORMAT_VERSION:
+            raise ValueError(
+                f"graph file {path} has format version {version}; "
+                f"this build reads up to {GRAPH_FORMAT_VERSION}"
+            )
+        kind = str(data["kind"])
+        adjacency = _unpack_ragged(data["degrees"], data["flat"])
+        entry = int(data["entry_point"])
+        name = str(data["name"])
+        if kind == "pg":
+            return ProximityGraph(
+                adjacency=adjacency, entry_point=entry, name=name
+            )
+        if kind == "hnsw":
+            upper_layers = []
+            for i in range(int(data["num_layers"])):
+                vertices = data[f"layer{i}_vertices"]
+                neighbor_lists = _unpack_ragged(
+                    data[f"layer{i}_degrees"], data[f"layer{i}_flat"]
+                )
+                upper_layers.append(
+                    {int(v): nbrs for v, nbrs in zip(vertices, neighbor_lists)}
+                )
+            return HNSW(
+                adjacency=adjacency,
+                entry_point=entry,
+                name=name,
+                upper_layers=upper_layers,
+                max_level=int(data["max_level"]),
+            )
+    raise ValueError(f"unknown graph kind {kind!r} in {path}")

@@ -9,10 +9,18 @@
 * :class:`FilteredMemoryIndex` — label-filtered search (Filter-DiskANN);
   aliased as :class:`FilteredIndex`.
 
-Every index exposes both ``search(query, k, beam_width)`` and the
-batched ``search_batch(queries, k, beam_width)`` (filtered search adds
-a ``labels`` argument); batch results stack per-query ids/distances
-into ``(B, k)`` arrays and carry per-query plus aggregated counters.
+Every index answers the uniform typed surface —
+``search(repro.api.SearchRequest)`` returning a
+:class:`~repro.api.SearchResponse` (the filtered scenario's labels are
+an optional request field) — plus the legacy shims
+``search(query, k, beam_width)`` and the batched
+``search_batch(queries, k, beam_width)``; batch results stack
+per-query ids/distances into ``(B, k)`` arrays and carry per-query
+plus aggregated counters.  All five scenarios are registered with the
+:mod:`repro.api` scenario registry, constructible from an
+:class:`~repro.api.IndexSpec` via :func:`repro.api.build`, and
+persistable with :func:`repro.api.save_index` /
+:func:`repro.api.load_index`.
 """
 
 from .disk_index import DiskBatchResult, DiskIndex, DiskSearchResult

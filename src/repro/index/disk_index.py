@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, SearchResponse, execute_request
 from ..engine import SearchContext, execute
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
@@ -222,13 +223,51 @@ class DiskIndex:
         return tables
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        codes: np.ndarray,
+        vectors: np.ndarray,
+        *,
+        ssd_config: Optional[SSDConfig] = None,
+        io_width: int = 4,
+        table_transform: Optional[Callable] = None,
+        table_transform_batch: Optional[Callable] = None,
+    ) -> "DiskIndex":
+        """Reconstruct from persisted state.  ``vectors`` is the SSD's
+        float32 page copy (what the expansion hook actually reads), and
+        ``codes`` the in-memory compact codes — both taken as-is so the
+        loaded index reranks bitwise identically."""
+        self = object.__new__(cls)
+        self.graph = graph
+        self.quantizer = quantizer
+        self.codes = np.asarray(codes)
+        self.ssd = SimulatedSSD(vectors, graph.adjacency, ssd_config)
+        self.io_width = int(io_width)
+        self.table_transform = table_transform
+        self.table_transform_batch = table_transform_batch
+        self.dim = np.asarray(vectors).shape[1]
+        self.context = SearchContext(
+            graph=graph, codes=self.codes, table_factory=self._build_tables
+        )
+        return self
+
+    # ------------------------------------------------------------------
     def search(
         self,
-        query: np.ndarray,
+        query: "np.ndarray | SearchRequest",
         k: int = 10,
         beam_width: int = 32,
-    ) -> DiskSearchResult:
-        """DiskANN beam search + exact rerank (the ``B=1`` batch)."""
+    ) -> "DiskSearchResult | SearchResponse":
+        """DiskANN beam search + exact rerank (the ``B=1`` batch).
+
+        A :class:`~repro.api.SearchRequest` argument runs the uniform
+        typed path and returns a :class:`~repro.api.SearchResponse`.
+        """
+        if isinstance(query, SearchRequest):
+            return execute_request(self, query)
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         return self.search_batch(query[None, :], k=k, beam_width=beam_width).row(0)
 

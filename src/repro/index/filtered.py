@@ -15,9 +15,11 @@ vertices, the search escalates the beam width geometrically up to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, SearchResponse, execute_request
 from ..engine import SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.base import BaseQuantizer
@@ -85,6 +87,10 @@ class FilteredMemoryIndex:
         ``(n,)`` integer label per vertex.
     """
 
+    #: The filtered scenario takes per-query target labels; the uniform
+    #: request path (:func:`repro.api.execute_request`) keys off this.
+    supports_labels = True
+
     def __init__(
         self,
         graph: ProximityGraph,
@@ -114,24 +120,55 @@ class FilteredMemoryIndex:
             table_factory=quantizer.lookup_table_batch,
         )
 
+    @classmethod
+    def from_state(
+        cls,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        codes: np.ndarray,
+        labels: np.ndarray,
+    ) -> "FilteredMemoryIndex":
+        """Reconstruct from persisted state (codes and labels taken
+        as-is; bitwise identical to the saved index)."""
+        self = object.__new__(cls)
+        self.graph = graph
+        self.quantizer = quantizer
+        self.codes = np.asarray(codes)
+        self.labels = np.asarray(labels).reshape(-1)
+        self.context = SearchContext(
+            graph=graph,
+            codes=self.codes,
+            table_factory=quantizer.lookup_table_batch,
+        )
+        return self
+
     def label_count(self, label: int) -> int:
         """Number of vertices carrying ``label``."""
         return int((self.labels == label).sum())
 
     def search(
         self,
-        query: np.ndarray,
-        label: int,
+        query: "np.ndarray | SearchRequest",
+        label: Optional[int] = None,
         k: int = 10,
         beam_width: int = 32,
         max_beam_width: int = 256,
-    ) -> FilteredSearchResult:
+    ) -> "FilteredSearchResult | SearchResponse":
         """Nearest vertices with ``labels == label``.
 
         Escalates the beam geometrically until ``k`` matching vertices
         are found (or ``max_beam_width`` is reached).  The ``B=1``
-        batch.
+        batch.  A :class:`~repro.api.SearchRequest` argument (carrying
+        ``request.labels``) runs the uniform typed path and returns a
+        :class:`~repro.api.SearchResponse`.
         """
+        if isinstance(query, SearchRequest):
+            return execute_request(self, query)
+        if label is None:
+            raise ValueError(
+                "filtered search requires a target label (pass 'label' "
+                "or use a SearchRequest with labels)"
+            )
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         return self.search_batch(
             query[None, :],
@@ -144,7 +181,7 @@ class FilteredMemoryIndex:
     def search_batch(
         self,
         queries: np.ndarray,
-        labels: np.ndarray,
+        labels: Optional[np.ndarray] = None,
         k: int = 10,
         beam_width: int = 32,
         max_beam_width: int = 256,
@@ -158,6 +195,11 @@ class FilteredMemoryIndex:
         routing pass over the still-unsatisfied queries; row ``b`` is
         bitwise identical to :meth:`search` on ``queries[b]``.
         """
+        if labels is None:
+            raise ValueError(
+                "filtered search requires target labels (a scalar or a "
+                "(B,) per-query array)"
+            )
         if k < 1:
             raise ValueError("k must be >= 1")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))

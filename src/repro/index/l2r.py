@@ -109,6 +109,23 @@ class L2RIndex(MemoryIndex):
             rng=rng,
         )
 
+    @classmethod
+    def from_state(
+        cls,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        codes: np.ndarray,
+        *,
+        weights: np.ndarray,
+        **memory_state,
+    ) -> "L2RIndex":
+        """Reconstruct from persisted state: the learned chunk weights
+        are restored directly instead of re-fitting, so routing is
+        bitwise identical to the saved index."""
+        self = super().from_state(graph, quantizer, codes, **memory_state)
+        self.reweighter = LearnedRoutingReweighter(weights)
+        return self
+
     def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
         """Learned reweighting applied on top of the base ADC tables —
         the only place this scenario's policy differs from the plain

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, SearchResponse, execute_request
 from ..engine import BatchSearchResult, SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
@@ -211,13 +212,57 @@ class MemoryIndex:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        graph: ProximityGraph,
+        quantizer: BaseQuantizer,
+        codes: np.ndarray,
+        *,
+        dim: int,
+        distance_mode: str = "adc",
+        table_dtype: np.dtype = None,
+        storage_dtype: np.dtype = np.float64,
+    ) -> "MemoryIndex":
+        """Reconstruct an index from persisted state — the codes are
+        taken as-is (the original vectors were dropped after encoding,
+        exactly as in the live constructor), so a loaded index searches
+        bitwise identically to the one that was saved."""
+        self = object.__new__(cls)
+        self.distance_mode = distance_mode
+        self.storage_dtype = np.dtype(storage_dtype)
+        if table_dtype is None:
+            table_dtype = self.storage_dtype
+        self.table_dtype = np.dtype(table_dtype)
+        self.graph = graph
+        self.quantizer = quantizer
+        if self.storage_dtype == np.dtype(np.float32):
+            self._book = quantizer.codebook.astype(np.float32)
+        else:
+            self._book = quantizer.codebook
+        self.codes = np.asarray(codes)
+        self.dim = int(dim)
+        self.context = SearchContext(
+            graph=graph, codes=self.codes, table_factory=self._build_tables
+        )
+        return self
+
+    # ------------------------------------------------------------------
     def search(
         self,
-        query: np.ndarray,
+        query: "np.ndarray | SearchRequest",
         k: int = 10,
         beam_width: int = 32,
-    ) -> MemorySearchResult:
-        """Beam-search with ADC distances; no rerank (the ``B=1`` batch)."""
+    ) -> "MemorySearchResult | SearchResponse":
+        """Beam-search with ADC distances; no rerank (the ``B=1`` batch).
+
+        Passing a :class:`~repro.api.SearchRequest` instead of a raw
+        query runs the uniform typed path and returns a
+        :class:`~repro.api.SearchResponse` (bitwise identical ids,
+        distances, and counters).
+        """
+        if isinstance(query, SearchRequest):
+            return execute_request(self, query)
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         batch = self.search_batch(query[None, :], k=k, beam_width=beam_width)
         row = batch.row(0)

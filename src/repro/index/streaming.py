@@ -31,6 +31,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, SearchResponse, execute_request
 from ..engine import SearchContext, lockstep_apply
 from ..graphs.base import medoid
 from ..graphs.beam import BatchDistanceFn, beam_search, beam_search_batch
@@ -168,6 +169,46 @@ class FreshVamanaIndex:
         self._adjacency: List[List[int]] = []
         self._deleted: List[bool] = []
         self._entry: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state(
+        cls,
+        quantizer: BaseQuantizer,
+        *,
+        dim: int,
+        r: int,
+        search_l: int,
+        alpha: float,
+        build_batch_size: int,
+        vectors: np.ndarray,
+        codes: np.ndarray,
+        adjacency: List[np.ndarray],
+        deleted: np.ndarray,
+        entry: Optional[int],
+        seed: Optional[int] = 0,
+    ) -> "FreshVamanaIndex":
+        """Reconstruct a streaming index from persisted state: the live
+        adjacency, codes, vectors, and tombstones are restored exactly,
+        so searches (and future inserts) continue bitwise identically."""
+        self = cls(
+            quantizer,
+            dim,
+            r=r,
+            search_l=search_l,
+            alpha=alpha,
+            seed=seed,
+            build_batch_size=build_batch_size,
+        )
+        vectors = np.asarray(vectors, dtype=np.float64).reshape(-1, dim)
+        self._vectors = [row for row in vectors]
+        self._codes = [row for row in np.asarray(codes)]
+        self._adjacency = [
+            [int(u) for u in nbrs] for nbrs in adjacency
+        ]
+        self._deleted = [bool(d) for d in np.asarray(deleted).reshape(-1)]
+        self._entry = None if entry is None else int(entry)
+        return self
 
     # ------------------------------------------------------------------
     @property
@@ -377,13 +418,17 @@ class FreshVamanaIndex:
 
     def search(
         self,
-        query: np.ndarray,
+        query: "np.ndarray | SearchRequest",
         k: int = 10,
         beam_width: int = 32,
-    ) -> StreamingSearchResult:
+    ) -> "StreamingSearchResult | SearchResponse":
         """ADC beam search; tombstoned vertices are filtered from the
         results (but still route, as in Fresh-DiskANN).  The ``B=1``
-        batch."""
+        batch.  A :class:`~repro.api.SearchRequest` argument runs the
+        uniform typed path and returns a
+        :class:`~repro.api.SearchResponse`."""
+        if isinstance(query, SearchRequest):
+            return execute_request(self, query)
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         return self.search_batch(
             query[None, :], k=k, beam_width=beam_width

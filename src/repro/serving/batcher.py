@@ -27,7 +27,14 @@ from typing import Deque, List, Optional
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, SearchResponse
+
 _STOP = object()
+
+#: Scalar-result fields whose batch-result counterpart uses a different
+#: name; :meth:`DynamicBatcher.search` renames them so its responses
+#: carry the same counter keys as every other ``search(request)`` path.
+_SCALAR_TO_BATCH_COUNTER = {"beam_width_used": "beam_widths_used"}
 
 
 @dataclass
@@ -142,6 +149,63 @@ class DynamicBatcher:
             self.stats.requests += 1
             self._queue.put(_Request(query, future))
         return future
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Uniform typed entry point: serve a whole request through the
+        queue and reassemble the rows into one response.
+
+        Every query row is submitted as its own request (riding
+        whatever micro-batches form around it), so the answers are
+        bitwise identical to a direct ``search_batch`` — only the
+        batching is load-dependent.  The request must match the
+        batcher's fixed ``k`` / ``beam_width`` (micro-batches are
+        homogeneous by construction), and per-request ``labels`` are
+        rejected: scenario extras broadcast over load-dependent batches
+        only as scalars, via ``search_kwargs``.
+        """
+        if request.k != self.k or request.beam_width != self.beam_width:
+            raise ValueError(
+                f"request (k={request.k}, beam_width={request.beam_width}) "
+                f"does not match this batcher's fixed (k={self.k}, "
+                f"beam_width={self.beam_width})"
+            )
+        if request.labels is not None or request.max_beam_width is not None:
+            raise ValueError(
+                "per-request labels/max_beam_width cannot ride dynamic "
+                "micro-batches; configure scalar scenario extras via "
+                "search_kwargs instead"
+            )
+        rows = [
+            future.result()
+            for future in [
+                self.submit(q) for q in request.query_matrix
+            ]
+        ]
+        k = self.k
+        b = len(rows)
+        ids = np.full((b, k), -1, dtype=np.int64)
+        distances = np.full((b, k), np.inf, dtype=np.float64)
+        counts = np.zeros(b, dtype=np.int64)
+        counters: dict = {}
+        for i, row in enumerate(rows):
+            c = min(row.ids.shape[0], k)
+            ids[i, :c] = row.ids[:c]
+            distances[i, :c] = row.distances[:c]
+            counts[i] = c
+            for name, value in vars(row).items():
+                if name in ("ids", "distances"):
+                    continue
+                name = _SCALAR_TO_BATCH_COUNTER.get(name, name)
+                counters.setdefault(name, [None] * b)[i] = value
+        return SearchResponse(
+            ids=ids,
+            distances=distances,
+            counts=counts,
+            counters={
+                name: np.asarray(values)
+                for name, values in counters.items()
+            },
+        )
 
     def close(self, flush: bool = True, timeout: Optional[float] = None):
         """Stop the worker.

@@ -36,6 +36,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..api.protocol import SearchRequest, execute_request
+
 
 def partition_rows(
     n: int, num_shards: int, strategy: str = "contiguous"
@@ -178,6 +180,11 @@ class ShardedIndex:
         return [g.size for g in self._global_ids]
 
     @property
+    def supports_labels(self) -> bool:
+        """Label-filtered fan-out iff the shards are filtered indexes."""
+        return bool(getattr(self._shards[0], "supports_labels", False))
+
+    @property
     def num_vertices(self) -> int:
         return sum(self.shard_sizes())
 
@@ -249,7 +256,15 @@ class ShardedIndex:
     def search(
         self, query: np.ndarray, k: int = 10, beam_width: int = 32, **kwargs
     ):
-        """Single-query fan-out (the ``B=1`` batch), scalar result."""
+        """Single-query fan-out (the ``B=1`` batch), scalar result.
+
+        A :class:`~repro.api.SearchRequest` argument fans the whole
+        request batch out and returns a
+        :class:`~repro.api.SearchResponse` with counters summed across
+        shards.
+        """
+        if isinstance(query, SearchRequest):
+            return execute_request(self, query)
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         return self.search_batch(
             query[None, :], k=k, beam_width=beam_width, **kwargs
@@ -268,6 +283,11 @@ class ShardedIndex:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        if "labels" in kwargs and not self.supports_labels:
+            raise ValueError(
+                "labels were supplied but the shards are not "
+                "filtered-scenario indexes"
+            )
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         results = self._fan_out(queries, k, beam_width, kwargs)
         return self._merge(results, k)

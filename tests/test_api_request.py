@@ -1,0 +1,269 @@
+"""The typed request/response surface: uniform across every scenario,
+bitwise identical to the legacy ``search``/``search_batch`` signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SearchRequest, SearchResponse, execute_request
+from repro.datasets import load
+from repro.graphs import build_vamana
+from repro.index import (
+    DiskIndex,
+    FilteredIndex,
+    L2RIndex,
+    MemoryIndex,
+    StreamingIndex,
+)
+from repro.quantization import ProductQuantizer
+from repro.serving import DynamicBatcher, ShardedIndex, partition_rows
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = load("sift", n_base=240, n_queries=8, seed=5)
+    quantizer = ProductQuantizer(8, 16, seed=0).fit(data.train)
+    graph = build_vamana(data.base, r=8, search_l=20, seed=0)
+    return data, quantizer, graph
+
+
+def build_all(setup):
+    data, quantizer, graph = setup
+    x = data.base
+    streaming = StreamingIndex(quantizer, dim=x.shape[1], r=8, search_l=20)
+    streaming.insert_batch(x)
+    labels = np.arange(x.shape[0]) % 3
+    return {
+        "memory": MemoryIndex(graph, quantizer, x),
+        "hybrid": DiskIndex(graph, quantizer, x, io_width=2),
+        "l2r": L2RIndex(graph, quantizer, x, rng=np.random.default_rng(0)),
+        "streaming": streaming,
+        "filtered": FilteredIndex(graph, quantizer, x, labels),
+    }
+
+
+def assert_response_matches_batch(response, batch):
+    import dataclasses
+
+    np.testing.assert_array_equal(response.ids, batch.ids)
+    np.testing.assert_array_equal(response.distances, batch.distances)
+    np.testing.assert_array_equal(response.counts, batch.counts)
+    for field in dataclasses.fields(batch):
+        if field.name in ("ids", "distances", "counts"):
+            continue
+        np.testing.assert_array_equal(
+            response.counters[field.name], getattr(batch, field.name)
+        )
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+
+
+def test_request_normalizes_queries():
+    request = SearchRequest(queries=np.zeros(16))
+    assert request.query_matrix.shape == (1, 16)
+    assert request.num_queries == 1
+
+
+def test_request_rejects_bad_shapes_and_params():
+    with pytest.raises(ValueError, match="queries"):
+        SearchRequest(queries=np.zeros((2, 3, 4)))
+    with pytest.raises(ValueError, match="k"):
+        SearchRequest(queries=np.zeros(4), k=0)
+    with pytest.raises(ValueError, match="beam_width"):
+        SearchRequest(queries=np.zeros(4), beam_width=0)
+
+
+def test_response_row_helpers():
+    response = SearchResponse(
+        ids=np.array([[3, 5, -1]]),
+        distances=np.array([[0.5, 1.0, np.inf]]),
+        counts=np.array([2]),
+        counters={"hops": np.array([7])},
+    )
+    np.testing.assert_array_equal(response.row_ids(0), [3, 5])
+    np.testing.assert_array_equal(response.row_distances(0), [0.5, 1.0])
+    assert response.total("hops") == 7.0
+    assert [list(ids) for ids in response] == [[3, 5]]
+
+
+# ----------------------------------------------------------------------
+# Bitwise parity: request path vs legacy signatures
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name", ["memory", "hybrid", "l2r", "streaming", "filtered"]
+)
+def test_request_matches_legacy_search_batch(setup, name):
+    data, _, _ = setup
+    index = build_all(setup)[name]
+    if name == "filtered":
+        labels = np.arange(data.queries.shape[0]) % 3
+        request = SearchRequest(
+            queries=data.queries, k=5, beam_width=16, labels=labels
+        )
+        legacy = index.search_batch(
+            data.queries, labels, k=5, beam_width=16
+        )
+    else:
+        request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        legacy = index.search_batch(data.queries, k=5, beam_width=16)
+    assert_response_matches_batch(index.search(request), legacy)
+
+
+@pytest.mark.parametrize("name", ["memory", "filtered"])
+def test_request_matches_legacy_scalar_search(setup, name):
+    data, _, _ = setup
+    index = build_all(setup)[name]
+    query = data.queries[0]
+    if name == "filtered":
+        request = SearchRequest(
+            queries=query, k=5, beam_width=16, labels=1
+        )
+        legacy = index.search(query, 1, k=5, beam_width=16)
+    else:
+        request = SearchRequest(queries=query, k=5, beam_width=16)
+        legacy = index.search(query, k=5, beam_width=16)
+    response = index.search(request)
+    np.testing.assert_array_equal(response.row_ids(0), legacy.ids)
+    np.testing.assert_array_equal(response.row_distances(0), legacy.distances)
+    assert int(response.hops[0]) == legacy.hops
+
+
+def test_request_on_sharded_matches_legacy(setup):
+    data, quantizer, _ = setup
+    x = data.base
+    parts = partition_rows(x.shape[0], 3)
+    shards = [
+        MemoryIndex(
+            build_vamana(x[idx], r=8, search_l=20, seed=0), quantizer, x[idx]
+        )
+        for idx in parts
+    ]
+    sharded = ShardedIndex(shards, global_ids=parts)
+    request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+    legacy = sharded.search_batch(data.queries, k=5, beam_width=16)
+    assert_response_matches_batch(sharded.search(request), legacy)
+
+
+def test_request_through_batcher_matches_direct(setup):
+    data, quantizer, graph = setup
+    index = MemoryIndex(graph, quantizer, data.base)
+    request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+    direct = index.search(request)
+    with DynamicBatcher(index, k=5, beam_width=16, max_batch_size=4) as b:
+        served = b.search(request)
+    np.testing.assert_array_equal(served.ids, direct.ids)
+    np.testing.assert_array_equal(served.distances, direct.distances)
+    np.testing.assert_array_equal(served.counts, direct.counts)
+    np.testing.assert_array_equal(served.hops, direct.hops)
+
+
+def test_batcher_filtered_counters_use_uniform_names(setup):
+    data, quantizer, graph = setup
+    labels = np.arange(data.base.shape[0]) % 3
+    index = FilteredIndex(graph, quantizer, data.base, labels)
+    request = SearchRequest(
+        queries=data.queries, k=5, beam_width=16, labels=1
+    )
+    direct = index.search(request)
+    with DynamicBatcher(
+        index, k=5, beam_width=16, search_kwargs={"labels": 1}
+    ) as b:
+        served = b.search(
+            SearchRequest(queries=data.queries, k=5, beam_width=16)
+        )
+    assert set(served.counters) == set(direct.counters)
+    np.testing.assert_array_equal(
+        served.counters["beam_widths_used"],
+        direct.counters["beam_widths_used"],
+    )
+
+
+def test_batcher_rejects_mismatched_request(setup):
+    data, quantizer, graph = setup
+    index = MemoryIndex(graph, quantizer, data.base)
+    with DynamicBatcher(index, k=5, beam_width=16) as b:
+        with pytest.raises(ValueError, match="fixed"):
+            b.search(SearchRequest(queries=data.queries, k=7, beam_width=16))
+        with pytest.raises(ValueError, match="labels"):
+            b.search(
+                SearchRequest(
+                    queries=data.queries, k=5, beam_width=16, labels=1
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Label uniformity (the old filtered-search asymmetry)
+# ----------------------------------------------------------------------
+
+
+def test_labels_on_non_filtered_index_raise_value_error(setup):
+    data, _, _ = setup
+    indexes = build_all(setup)
+    request = SearchRequest(queries=data.queries, labels=1)
+    for name in ("memory", "hybrid", "l2r", "streaming"):
+        with pytest.raises(ValueError, match="not a filtered"):
+            indexes[name].search(request)
+
+
+def test_max_beam_width_on_non_filtered_raises_value_error(setup):
+    data, _, _ = setup
+    index = build_all(setup)["memory"]
+    with pytest.raises(ValueError, match="max_beam_width"):
+        index.search(
+            SearchRequest(queries=data.queries, max_beam_width=64)
+        )
+
+
+def test_filtered_without_labels_raises_value_error(setup):
+    data, _, _ = setup
+    index = build_all(setup)["filtered"]
+    with pytest.raises(ValueError, match="requires request.labels"):
+        index.search(SearchRequest(queries=data.queries))
+    with pytest.raises(ValueError, match="target label"):
+        index.search(data.queries[0])
+    with pytest.raises(ValueError, match="target labels"):
+        index.search_batch(data.queries)
+
+
+def test_labels_on_non_filtered_sharded_raise_value_error(setup):
+    data, quantizer, _ = setup
+    x = data.base
+    parts = partition_rows(x.shape[0], 2)
+    sharded = ShardedIndex(
+        [
+            MemoryIndex(
+                build_vamana(x[idx], r=8, search_l=20, seed=0),
+                quantizer,
+                x[idx],
+            )
+            for idx in parts
+        ],
+        global_ids=parts,
+    )
+    with pytest.raises(ValueError, match="not filtered"):
+        sharded.search_batch(data.queries, k=5, beam_width=16, labels=1)
+    with pytest.raises(ValueError, match="filtered"):
+        sharded.search(SearchRequest(queries=data.queries, labels=1))
+
+
+def test_max_beam_width_passes_through(setup):
+    data, _, _ = setup
+    index = build_all(setup)["filtered"]
+    request = SearchRequest(
+        queries=data.queries, k=5, beam_width=8, labels=2, max_beam_width=64
+    )
+    legacy = index.search_batch(
+        data.queries, 2, k=5, beam_width=8, max_beam_width=64
+    )
+    assert_response_matches_batch(index.search(request), legacy)
+    assert execute_request(index, request).counters[
+        "beam_widths_used"
+    ].max() <= 64

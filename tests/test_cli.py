@@ -105,3 +105,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Dynamic-batching serving" in out
         assert "speedup over per-query serving" in out
+
+
+class TestIndexCommand:
+    def test_build_describe_search_round_trip(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx")
+        code = main(
+            [
+                "index", "build", "--out", out_dir,
+                "--n-base", "250", "--n-queries", "6",
+                "--codewords", "16",
+            ]
+        )
+        assert code == 0
+        assert "built scenario=memory" in capsys.readouterr().out
+
+        assert main(["index", "describe", "--dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: memory" in out
+        assert "format_version" in out or "spec:" in out
+
+        assert main(
+            ["index", "search", "--dir", out_dir, "--k", "5"]
+        ) == 0
+        assert "recall@5" in capsys.readouterr().out
+
+    def test_build_refuses_unpersistable_catalyst(self, tmp_path, capsys):
+        code = main(
+            [
+                "index", "build",
+                "--out", str(tmp_path / "idx"),
+                "--quantizer", "catalyst",
+                "--n-base", "250",
+            ]
+        )
+        assert code == 2
+        assert "cannot be persisted" in capsys.readouterr().err
+
+    def test_search_refuses_mismatched_dataset(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.api import IndexSpec, build, save_index
+        from repro.datasets import load
+
+        # Built from explicit data: the default spec's dataset section
+        # (n_base=2000) does not describe these 250 rows.
+        data = load("sift", n_base=250, n_queries=4, seed=0)
+        index = build(
+            IndexSpec(), data=data.base,
+            graph=None, quantizer=None,
+        )
+        assert np.asarray(index.codes).shape[0] == 250
+        out_dir = str(tmp_path / "idx")
+        save_index(index, out_dir)
+        assert main(["index", "search", "--dir", out_dir]) == 2
+        err = capsys.readouterr().err
+        assert "refusing to evaluate" in err
