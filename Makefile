@@ -51,6 +51,7 @@ lint:
 		$(PYTHON) -m ruff check . && \
 		$(PYTHON) -m ruff format --check src/repro/serving \
 			tests/test_sharded.py tests/test_batcher.py \
+			tests/test_shard_backends.py \
 			benchmarks/bench_serving.py; \
 	else \
 		echo "ruff not installed; skipping lint (CI installs it)"; \

@@ -10,12 +10,19 @@ Scales are laptop-sized (see DESIGN.md §2): 1k–5k vectors instead of
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import time
 from typing import Dict, List
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Committed machine-readable baselines live at the repo root (the
+#: human-readable blocks under results/ stay untracked).
+BASELINE_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
 
 # Shared small-scale defaults.
 N_BASE = 1000
@@ -35,6 +42,42 @@ def speedup_gates_enabled() -> bool:
     nightly CI lane — shared runners make timing gates flaky).
     """
     return not os.environ.get("REPRO_SKIP_SPEEDUP_GATES")
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity/cgroup aware);
+    falls back to the host count where affinity is unsupported."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def process_speedup_gate_enabled() -> bool:
+    """Whether the thread-vs-process fan-out gate should run.
+
+    On top of the usual :func:`speedup_gates_enabled` switch the gate
+    needs real CPU parallelism: with only one *usable* CPU (single-core
+    host, `taskset`, cgroup quota) the per-shard worker processes
+    cannot overlap, so the >= 1.5x bar is physically unreachable and
+    the gate skips (the bitwise identity assertion always runs).
+    """
+    return speedup_gates_enabled() and usable_cpus() >= 2
+
+
+def save_json_baseline(name: str, payload: dict) -> str:
+    """Write a committed ``BENCH_<name>.json`` baseline at the repo root.
+
+    Unlike the human-readable blocks under ``results/`` (untracked),
+    these are machine-readable snapshots meant to be committed so the
+    bench trajectory is visible in history.
+    """
+    path = os.path.join(BASELINE_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[baseline saved to {path}]")
+    return path
 
 
 def save_report(name: str, text: str) -> None:

@@ -62,7 +62,11 @@ def _read_json(path: str) -> dict:
 
 
 def _save_spec(
-    index: object, dirpath: str, scenario_name: str, num_shards: int = 1
+    index: object,
+    dirpath: str,
+    scenario_name: str,
+    num_shards: int = 1,
+    backend: str = "thread",
 ) -> None:
     spec = getattr(index, "spec", None)
     if spec is None:
@@ -71,7 +75,7 @@ def _save_spec(
         # sections keep their defaults and are descriptive only).
         spec = IndexSpec(
             scenario=ScenarioSpec(kind=scenario_name),
-            sharding=ShardingSpec(num_shards=num_shards),
+            sharding=ShardingSpec(num_shards=num_shards, backend=backend),
         )
     _write_json(os.path.join(dirpath, _SPEC_FILE), spec.to_dict())
 
@@ -106,11 +110,18 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
                     "num_shards": index.num_shards,
                     "next_global": int(index._next_global),
                     "max_workers": index._max_workers,
+                    "backend": index.backend,
                     "shard_scenarios": sorted(names),
                 },
             },
         )
-        _save_spec(index, dirpath, sorted(names)[0], index.num_shards)
+        _save_spec(
+            index,
+            dirpath,
+            sorted(names)[0],
+            index.num_shards,
+            backend=index.backend,
+        )
         return dirpath
 
     handler = scenario_for_index(index)
@@ -174,6 +185,7 @@ def load_index(dirpath: Union[str, os.PathLike]) -> object:
             shards,
             global_ids=global_ids,
             max_workers=state.get("max_workers"),
+            backend=state.get("backend", "thread"),
         )
         index._next_global = int(state["next_global"])
         _attach_spec(index, dirpath)

@@ -63,7 +63,9 @@ class SearchRequest:
 
     def __post_init__(self) -> None:
         self.queries = np.asarray(self.queries, dtype=np.float64)
-        if self.queries.ndim > 2:
+        if self.queries.ndim == 0 or self.queries.ndim > 2:
+            # A 0-dim scalar would silently become a (1, 1) matrix and
+            # fail much later with a confusing dimension mismatch.
             raise ValueError(
                 f"queries must be (dim,) or (B, dim), got shape "
                 f"{self.queries.shape}"

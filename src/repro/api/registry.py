@@ -304,6 +304,16 @@ def build(
     num_shards = int(spec.sharding.num_shards)
     if num_shards < 1:
         raise ValueError("sharding.num_shards must be >= 1")
+    # Validate the backend name up front (even unsharded, where it is
+    # unused): a typo'd spec value must fail loudly like unknown keys
+    # do, and before any expensive per-shard graph builds.
+    from ..serving import shard_backend_names
+
+    if spec.sharding.backend not in shard_backend_names():
+        raise ValueError(
+            f"unknown shard backend {spec.sharding.backend!r}; "
+            f"expected one of {shard_backend_names()}"
+        )
 
     if num_shards == 1:
         if graph is None and handler.needs_graph:
@@ -380,6 +390,7 @@ def build(
         shards,
         global_ids=shard_parts,
         max_workers=spec.sharding.max_workers,
+        backend=spec.sharding.backend,
     )
     index.spec = spec
     return index

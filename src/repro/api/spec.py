@@ -97,11 +97,19 @@ class ScenarioSpec:
 
 @dataclass
 class ShardingSpec:
-    """Fan-out layout: 1 shard means a plain unsharded index."""
+    """Fan-out layout: 1 shard means a plain unsharded index.
+
+    ``backend`` picks the shard-execution backend (``"thread"`` or
+    ``"process"`` — see :mod:`repro.serving.backends`); results are
+    bitwise identical across backends, only wall-clock changes.
+    ``max_workers`` bounds the thread backend's pool width and is
+    ignored by the process backend (one worker process per shard).
+    """
 
     num_shards: int = 1
     strategy: str = "contiguous"
     max_workers: Optional[int] = None
+    backend: str = "thread"
 
 
 @dataclass

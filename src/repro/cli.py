@@ -28,6 +28,20 @@ from typing import List, Optional
 import numpy as np
 
 
+def _backend_needs_shards(args: argparse.Namespace) -> bool:
+    """True (after printing the error) when ``--shard-backend`` was
+    given without ``--shards > 1`` — silently ignoring it would let the
+    user believe they measured a fan-out that never ran."""
+    if args.shard_backend != "thread" and args.shards == 1:
+        print(
+            "--shard-backend requires --shards > 1 (an unsharded index "
+            "has no fan-out to run in worker processes)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _cmd_profiles(args: argparse.Namespace) -> int:
     from .datasets import PROFILES, lid_mle, load
     from .eval import format_table
@@ -57,6 +71,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             "--float32 applies to the memory scenario only",
             file=sys.stderr,
         )
+        return 2
+    if _backend_needs_shards(args):
         return 2
 
     from .core import RPQ, RPQTrainingConfig
@@ -107,7 +123,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             kind="memory" if args.scenario == "memory" else "hybrid",
             params=scenario_params,
         ),
-        sharding=ShardingSpec(num_shards=args.shards),
+        sharding=ShardingSpec(
+            num_shards=args.shards, backend=args.shard_backend
+        ),
     )
     shard_parts = shard_graphs = None
     if args.shards > 1:
@@ -145,7 +163,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         else "per-query"
     )
     if args.shards > 1:
-        engine += f", {args.shards} shards"
+        engine += f", {args.shards} shards ({args.shard_backend})"
     if args.float32 and args.scenario == "memory":
         engine += ", float32 storage"
     print(
@@ -173,6 +191,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     if args.name == "serve":
+        if _backend_needs_shards(args):
+            return 2
         batch_sizes = (
             (1,) if args.batch_size == 1 else (1, args.batch_size)
         )
@@ -182,6 +202,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             n_queries=max(args.n_queries, 32),
             batch_sizes=batch_sizes,
             num_shards=args.shards,
+            shard_backend=args.shard_backend,
             graph_kind=args.graph,
             seed=args.seed,
         )
@@ -357,8 +378,18 @@ def _cmd_index(args: argparse.Namespace) -> int:
         from .api import SearchRequest
         from .datasets import compute_ground_truth, load
         from .metrics import recall_at_k
+        from .serving import ShardedIndex
 
         index = load_index(args.dir)
+        if args.shard_backend:
+            if not isinstance(index, ShardedIndex):
+                print(
+                    f"{args.dir} holds an unsharded index; "
+                    "--shard-backend applies to sharded indexes only",
+                    file=sys.stderr,
+                )
+                return 2
+            index.set_backend(args.shard_backend)
         spec = getattr(index, "spec", None)
         if spec is None:
             print(f"{args.dir} has no spec.json", file=sys.stderr)
@@ -459,6 +490,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition the dataset across this many shards and answer "
         "queries through the fan-out ShardedIndex",
     )
+    p_demo.add_argument(
+        "--shard-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="where the shard fan-out runs: the in-process thread pool "
+        "or persistent per-shard worker processes",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
@@ -482,6 +520,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=1,
         help="'serve' experiment: fan the index out across this many shards",
+    )
+    p_exp.add_argument(
+        "--shard-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="'serve' experiment: shard-execution backend for the fan-out",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -530,6 +574,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="filtered scenario: target label for every query",
+    )
+    p_search.add_argument(
+        "--shard-backend",
+        choices=("thread", "process"),
+        default="",
+        help="sharded indexes: override the saved fan-out backend "
+        "(default: keep whatever the directory recorded)",
     )
     p_search.set_defaults(func=_cmd_index)
 

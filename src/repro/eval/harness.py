@@ -194,6 +194,7 @@ def make_index(
     method: str = "",
     seed: int = 0,
     num_shards: int = 1,
+    shard_backend: str = "thread",
 ):
     """Instantiate the scenario's index (``memory`` or ``hybrid``)
     through the unified :func:`repro.api.build` factory.
@@ -201,9 +202,11 @@ def make_index(
     ``num_shards > 1`` partitions the dataset and builds one index —
     including its own graph, with the prepared graph kind and seed —
     per shard, wrapped in a fan-out
-    :class:`~repro.serving.sharded.ShardedIndex`.  Per-shard graphs are
-    cached on ``prepared`` (they depend only on the rows and seed) and
-    passed to :func:`~repro.api.build` as overrides.
+    :class:`~repro.serving.sharded.ShardedIndex` whose
+    ``shard_backend`` (``"thread"`` or ``"process"``) executes the
+    per-shard searches.  Per-shard graphs are cached on ``prepared``
+    (they depend only on the rows and seed) and passed to
+    :func:`~repro.api.build` as overrides.
     """
     from ..api import (
         DatasetSpec,
@@ -236,7 +239,9 @@ def make_index(
             dataset=dataset_spec,
             graph=graph_spec,
             scenario=_scenario_spec(scenario, method, seed),
-            sharding=ShardingSpec(num_shards=num_shards),
+            sharding=ShardingSpec(
+                num_shards=num_shards, backend=shard_backend
+            ),
         )
         return build(
             spec,
@@ -603,6 +608,7 @@ def run_serving(
     batch_sizes: Sequence[int] = (1, 32),
     wait_ms: Sequence[float] = (0.0, 2.0, 8.0),
     num_shards: int = 1,
+    shard_backend: str = "thread",
     num_chunks: int = 8,
     num_codewords: int = 32,
     beam_width: int = 32,
@@ -618,10 +624,13 @@ def run_serving(
     through a batcher at every ``(max_batch_size, max_wait_ms)``
     configuration; ``max_batch_size=1`` rows are the per-query serving
     baseline (``max_wait_ms`` is irrelevant there, so it is measured
-    once).  ``num_shards > 1`` serves from a sharded fan-out index.
-    Pass ``prepared`` to reuse an existing dataset/graph/ground-truth
-    bundle (graph builds dominate setup time) instead of re-preparing
-    from the dataset parameters.
+    once).  ``num_shards > 1`` serves from a sharded fan-out index;
+    ``shard_backend`` picks its execution backend (``"thread"`` or
+    ``"process"``) and the index is warmed with one search first so
+    backend startup (pool creation, worker spawn + state shipping)
+    stays out of the measured stream.  Pass ``prepared`` to reuse an
+    existing dataset/graph/ground-truth bundle (graph builds dominate
+    setup time) instead of re-preparing from the dataset parameters.
     """
     if prepared is None:
         prepared = prepare(
@@ -636,9 +645,18 @@ def run_serving(
         quantizer_name, prepared, num_chunks, num_codewords, seed=seed
     )
     index = make_index(
-        scenario, prepared, quantizer, seed=seed, num_shards=num_shards
+        scenario,
+        prepared,
+        quantizer,
+        seed=seed,
+        num_shards=num_shards,
+        shard_backend=shard_backend,
     )
     queries = prepared.dataset.queries
+    if num_shards > 1:
+        # Warm the fan-out backend (thread-pool creation, or process
+        # worker spawn + state shipping) outside the measured stream.
+        index.search_batch(queries[:1], k=k, beam_width=beam_width)
     reps = int(np.ceil(stream_len / len(queries)))
     stream = np.tile(queries, (reps, 1))[:stream_len]
 

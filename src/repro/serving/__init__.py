@@ -4,10 +4,13 @@ This package turns the library into the shape of a server (see
 ``docs/architecture.md``):
 
 * :class:`ShardedIndex` — partitions a dataset across per-shard
-  indexes (any scenario), fans ``search_batch`` out over a thread
-  pool, and merges per-query top-k across shards with one
-  ``argpartition`` per row; exact over the union of shard candidates,
-  bitwise identical to the unsharded index for a single shard.  Routes
+  indexes (any scenario), fans ``search_batch`` out through a
+  pluggable :class:`ShardBackend` (``"thread"``: in-process pool;
+  ``"process"``: persistent per-shard worker processes fed via
+  ``save_index``/``load_index``), and merges per-query top-k across
+  shards with one ``argpartition`` per row; exact over the union of
+  shard candidates, bitwise identical across backends and to the
+  unsharded index for a single shard.  Routes
   ``insert_batch``/``delete`` for the streaming scenario.
 * :class:`DynamicBatcher` — a request queue that accumulates single
   queries into micro-batches (size- or deadline-triggered; the
@@ -19,12 +22,26 @@ DiskANN-server architecture — queue → batcher → sharded fan-out →
 merge.
 """
 
+from .backends import (
+    SHARD_BACKENDS,
+    ProcessBackend,
+    ShardBackend,
+    ThreadBackend,
+    make_shard_backend,
+    shard_backend_names,
+)
 from .batcher import BatcherStats, DynamicBatcher
 from .sharded import ShardedIndex, partition_rows
 
 __all__ = [
     "BatcherStats",
     "DynamicBatcher",
+    "ProcessBackend",
+    "SHARD_BACKENDS",
+    "ShardBackend",
     "ShardedIndex",
+    "ThreadBackend",
+    "make_shard_backend",
     "partition_rows",
+    "shard_backend_names",
 ]

@@ -1,0 +1,405 @@
+"""Shard-execution backends: where a ``ShardedIndex`` fan-out runs.
+
+:class:`~repro.serving.sharded.ShardedIndex` owns the merge, the
+global-id mapping, and the write-path routing; *where* the per-shard
+``search_batch`` calls execute is a pluggable :class:`ShardBackend`:
+
+* ``"thread"`` (:class:`ThreadBackend`) — the in-process pool.  Shard
+  searches are read-only NumPy, which releases the GIL in the hot
+  loops, so threads overlap those portions; the Python-level beam loop
+  itself still serializes on the GIL.
+* ``"process"`` (:class:`ProcessBackend`) — one persistent worker
+  process per shard.  Each shard's whole state is shipped through
+  :func:`repro.api.save_index` into a temporary directory; the worker
+  :func:`repro.api.load_index`-s it once at startup (spawn-safe: no
+  state is inherited, only the directory path crosses the ``Process``
+  boundary) and then answers ``search_batch`` calls over a pipe.  With
+  one GIL per worker the whole search runs in parallel, not just the
+  NumPy-released slices.
+
+Results are bitwise identical across backends: the persistence layer
+round-trips every array exactly (``tests/test_api_persistence``), the
+engine is deterministic, and pickling float64/int64 arrays over the
+pipe is exact — so the backend choice is purely a wall-clock decision.
+
+For the streaming scenario, writes keep landing on the parent's
+in-process shard objects (the router's insert/delete path is
+backend-agnostic); the router marks mutated shards via
+:meth:`ShardBackend.invalidate` and the process backend re-ships their
+state to the affected workers before the next search.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+
+class ShardBackend:
+    """Executes one ``search_batch`` per shard, results in shard order.
+
+    Subclasses register under a short name in :data:`SHARD_BACKENDS`
+    and are constructed through :func:`make_shard_backend` — the single
+    seam :class:`~repro.serving.sharded.ShardedIndex` dispatches its
+    ``_fan_out`` through.
+    """
+
+    name: str = ""
+
+    def __init__(
+        self, shards: Sequence[object], max_workers: Optional[int] = None
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._shards = list(shards)
+
+    def search_all(
+        self, queries, k: int, beam_width: int, kwargs: dict
+    ) -> List[object]:
+        """One scenario batch result per shard, in shard order."""
+        raise NotImplementedError
+
+    def invalidate(self, shard: int) -> None:
+        """Note that ``shard``'s state changed (streaming write path).
+
+        Backends holding remote copies of shard state must refresh the
+        copy before the next :meth:`search_all`; the in-process thread
+        backend reads live objects and needs no action.
+        """
+
+    def close(self) -> None:
+        """Release pools/processes/temp state (idempotent)."""
+
+
+class ThreadBackend(ShardBackend):
+    """In-process fan-out over a lazily created thread pool.
+
+    The effective pool width resolves once at construction: an explicit
+    ``max_workers``, else one thread per shard capped at the CPU count.
+    A resolved width of 1 (single shard, ``max_workers=1``, or a
+    single-CPU host) never builds a pool — a one-thread pool adds
+    dispatch overhead plus a GC finalizer for zero overlap.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, shards: Sequence[object], max_workers: Optional[int] = None
+    ) -> None:
+        super().__init__(shards, max_workers)
+        self._workers = int(
+            max_workers or min(len(self._shards), os.cpu_count() or 1)
+        )
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix="repro-shard",
+            )
+            # Call sites that never close() (sweeps building many
+            # sharded indexes) must not leak idle pools for the process
+            # lifetime: tie the pool's shutdown to this backend's GC.
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, False
+            )
+        return self._pool
+
+    def search_all(
+        self, queries, k: int, beam_width: int, kwargs: dict
+    ) -> List[object]:
+        if len(self._shards) == 1 or self._workers == 1:
+            return [
+                shard.search_batch(
+                    queries, k=k, beam_width=beam_width, **kwargs
+                )
+                for shard in self._shards
+            ]
+        pool = self._executor()
+        futures = [
+            pool.submit(
+                shard.search_batch,
+                queries,
+                k=k,
+                beam_width=beam_width,
+                **kwargs,
+            )
+            for shard in self._shards
+        ]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool_finalizer.detach()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Process backend: persistent per-shard worker processes
+# ----------------------------------------------------------------------
+
+
+def _shard_worker_main(dirpath: str, conn) -> None:
+    """Entry point of one persistent shard worker process.
+
+    Loads the shard once, acknowledges readiness, then serves
+    ``("search", queries, k, beam_width, kwargs)`` requests until a
+    ``("stop",)`` message (or a closed pipe) ends the loop.  Every
+    reply is ``(status, payload)`` so the parent can re-raise worker
+    exceptions without losing pipe framing.
+    """
+    try:
+        from repro.api import load_index
+
+        index = load_index(dirpath)
+        conn.send(("ready", None))
+    except BaseException as exc:  # surface load failures to the parent
+        _send_error(conn, exc)
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        command = message[0]
+        if command == "stop":
+            return
+        try:
+            if command == "reload":
+                index = load_index(dirpath)
+                conn.send(("ready", None))
+            elif command == "search":
+                _, queries, k, beam_width, kwargs = message
+                result = index.search_batch(
+                    queries, k=k, beam_width=beam_width, **kwargs
+                )
+                conn.send(("ok", result))
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+        except BaseException as exc:
+            _send_error(conn, exc)
+
+
+def _send_error(conn, exc: BaseException) -> None:
+    try:
+        conn.send(("error", exc))
+    except Exception:
+        # Unpicklable exception: degrade to its repr.
+        conn.send(("error", RuntimeError(repr(exc))))
+
+
+def _shutdown_workers(procs, conns, tmpdir: str) -> None:
+    """Stop worker processes and remove the shipped state (GC-safe:
+    takes no backend reference)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+class ProcessBackend(ShardBackend):
+    """One persistent worker process per shard, fed over a pipe.
+
+    Workers spawn lazily on the first search: each shard's state is
+    written with :func:`repro.api.save_index` into a temp directory and
+    a spawn-context ``Process`` loads it back on the other side, so
+    only picklable primitives (a path, query arrays, results) ever
+    cross the boundary.  ``max_workers`` is accepted for interface
+    uniformity but does not apply — parallelism is one process per
+    shard by construction.
+
+    Shards whose scenario cannot be persisted (e.g. a hand-built
+    hybrid index with a custom table transform) cannot be
+    process-backed; ``save_index`` raises at worker spawn.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, shards: Sequence[object], max_workers: Optional[int] = None
+    ) -> None:
+        super().__init__(shards, max_workers)
+        self._procs: Optional[list] = None
+        self._conns: Optional[list] = None
+        self._dirs: Optional[List[str]] = None
+        self._tmpdir: Optional[str] = None
+        self._dirty: set = set()
+        self._finalizer = None
+        # Pipes are not multiplexed: interleaved sends/recvs from two
+        # threads would cross-deliver replies, so searches serialize
+        # here (fan-out parallelism lives in the workers, not callers).
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._procs is not None:
+            self._flush_dirty()
+            return
+        from ..api import save_index
+
+        context = multiprocessing.get_context("spawn")
+        tmpdir = tempfile.mkdtemp(prefix="repro-shard-backend-")
+        procs, conns, dirs = [], [], []
+        try:
+            for s, shard in enumerate(self._shards):
+                shard_dir = os.path.join(tmpdir, f"shard_{s:03d}")
+                save_index(shard, shard_dir)
+                dirs.append(shard_dir)
+            for shard_dir in dirs:
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_shard_worker_main,
+                    args=(shard_dir, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+            self._procs, self._conns = procs, conns
+            self._dirs, self._tmpdir = dirs, tmpdir
+            self._finalizer = weakref.finalize(
+                self, _shutdown_workers, procs, conns, tmpdir
+            )
+            for s in range(len(conns)):
+                self._expect(s, "ready")
+        except BaseException:
+            # A failed spawn (e.g. an unpersistable shard raising in
+            # save_index, or a worker dying during load) must not leak
+            # the temp state or leave half-initialized workers wedged.
+            if self._procs is None:
+                _shutdown_workers(procs, conns, tmpdir)
+            else:
+                self.close()
+            raise
+        # The spawn shipped current state; earlier invalidations are moot.
+        self._dirty.clear()
+
+    def _expect(self, shard: int, expected: str):
+        try:
+            status, payload = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {shard} exited unexpectedly"
+            ) from None
+        if status == "error":
+            raise payload
+        if status != expected:
+            raise RuntimeError(
+                f"shard worker {shard} answered {status!r}, "
+                f"expected {expected!r}"
+            )
+        return payload
+
+    def _flush_dirty(self) -> None:
+        if not self._dirty:
+            return
+        from ..api import save_index
+
+        dirty = sorted(self._dirty)
+        try:
+            for s in dirty:
+                save_index(self._shards[s], self._dirs[s])
+                self._conns[s].send(("reload",))
+            for s in dirty:
+                self._expect(s, "ready")
+        except BaseException:
+            # A failed re-ship leaves workers on stale or mixed state;
+            # tear down so the next search respawns from fresh state.
+            self.close()
+            raise
+        self._dirty.clear()
+
+    def invalidate(self, shard: int) -> None:
+        self._dirty.add(int(shard))
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._procs is not None:
+            _shutdown_workers(self._procs, self._conns, self._tmpdir)
+            self._procs = self._conns = self._dirs = self._tmpdir = None
+
+    # -- search ---------------------------------------------------------
+    def search_all(
+        self, queries, k: int, beam_width: int, kwargs: dict
+    ) -> List[object]:
+        with self._lock:
+            self._ensure_workers()
+            try:
+                for conn in self._conns:
+                    conn.send(("search", queries, k, beam_width, kwargs))
+                # Collect every reply before raising so the pipes stay
+                # framed (a failed shard must not leave siblings'
+                # results unread).
+                outcomes = [conn.recv() for conn in self._conns]
+            except (EOFError, OSError) as exc:
+                # A dead worker (OOM kill, crash) wedges its pipe for
+                # good; tear the whole backend down so the next search
+                # respawns every worker from freshly shipped state.
+                self.close()
+                raise RuntimeError(
+                    "a shard worker died mid-search; the process "
+                    "backend was reset and the next search respawns "
+                    "its workers"
+                ) from exc
+            except BaseException:
+                # Any other interruption mid-send/recv (Ctrl-C, ...)
+                # leaves unread replies queued; a later search would
+                # consume them as its own.  Reset rather than desync.
+                self.close()
+                raise
+        for status, payload in outcomes:
+            if status == "error":
+                raise payload
+        return [payload for _, payload in outcomes]
+
+
+#: Registered backend constructors, keyed by the name the
+#: ``ShardingSpec.backend`` field / ``--shard-backend`` flag use.
+SHARD_BACKENDS: Dict[str, type] = {
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def shard_backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(SHARD_BACKENDS)
+
+
+def make_shard_backend(
+    name: str,
+    shards: Sequence[object],
+    max_workers: Optional[int] = None,
+) -> ShardBackend:
+    """Construct the named backend over ``shards``."""
+    try:
+        backend_cls = SHARD_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard backend {name!r}; "
+            f"expected one of {shard_backend_names()}"
+        ) from None
+    return backend_cls(shards, max_workers=max_workers)

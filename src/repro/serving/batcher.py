@@ -282,10 +282,19 @@ class DynamicBatcher:
                     batch.append(nxt)
             if len(batch) == self.max_batch_size:
                 self.stats.size_triggered += 1
-            elif stopping or self._closed:
-                self.stats.flush_triggered += 1
             else:
-                self.stats.deadline_triggered += 1
+                # Classify flushes from the _STOP sentinel actually
+                # seen, or from _closed observed under the lock — an
+                # unlocked read could race close(flush=True) and
+                # miscount a drained batch as deadline-triggered.
+                flushing = stopping
+                if not flushing:
+                    with self._lock:
+                        flushing = self._closed
+                if flushing:
+                    self.stats.flush_triggered += 1
+                else:
+                    self.stats.deadline_triggered += 1
             self._run_batch(batch)
 
     def _run_batch(self, batch: List[_Request]) -> None:

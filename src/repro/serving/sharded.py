@@ -2,14 +2,19 @@
 
 A shard is simply a whole index (any of the five scenarios) over a
 partition of the dataset rows.  :class:`ShardedIndex` fans
-``search_batch`` out over the shards — each shard call is pure NumPy
-over read-only state, so a thread pool overlaps them despite the GIL —
-and merges the per-shard stacked ``(B, k)`` results with one
+``search_batch`` out over the shards through a pluggable
+:class:`~repro.serving.backends.ShardBackend` — the in-process
+``"thread"`` pool (shard calls are pure NumPy over read-only state, so
+threads overlap the GIL-released portions) or the ``"process"``
+backend (one persistent worker process per shard, each loading the
+shard's persisted state once and answering over a pipe; one GIL per
+worker) — and merges the per-shard stacked ``(B, k)`` results with one
 ``argpartition`` per row.  The merge is exact over the union of shard
 candidates: distances pass through untouched (no re-computation), ties
 break deterministically by (distance, shard, within-shard rank), and a
 single-shard index is bitwise identical to the unsharded one — the
-merge is a pure selection, never an approximation.
+merge is a pure selection, never an approximation.  Results are
+bitwise identical across backends; only wall-clock changes.
 
 For the streaming scenario the router also owns the write path:
 :meth:`insert_batch` routes rows to the least-loaded shard (stable
@@ -29,14 +34,12 @@ directly must do their own serialization.
 from __future__ import annotations
 
 import dataclasses
-import os
-import weakref
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..api.protocol import SearchRequest, execute_request
+from .backends import make_shard_backend
 
 
 def partition_rows(
@@ -82,9 +85,17 @@ class ShardedIndex:
         empty (the streaming scenario) and ids are assigned by
         :meth:`insert_batch`.
     max_workers:
-        Thread-pool width for the fan-out; defaults to one thread per
-        shard (capped at the CPU count).  ``1`` disables threading —
-        results are identical either way, only wall-clock changes.
+        Thread-pool width for the ``"thread"`` backend's fan-out;
+        defaults to one thread per shard (capped at the CPU count).
+        ``1`` disables threading — results are identical either way,
+        only wall-clock changes.  The ``"process"`` backend ignores it
+        (parallelism there is one worker process per shard).
+    backend:
+        Which :class:`~repro.serving.backends.ShardBackend` executes
+        the fan-out: ``"thread"`` (default, in-process pool) or
+        ``"process"`` (persistent per-shard worker processes fed via
+        ``save_index``/``load_index``).  Results are bitwise identical
+        across backends.
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class ShardedIndex:
         shards: Sequence[object],
         global_ids: Optional[Sequence[np.ndarray]] = None,
         max_workers: Optional[int] = None,
+        backend: str = "thread",
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -133,7 +145,9 @@ class ShardedIndex:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._backend = make_shard_backend(
+            backend, self._shards, max_workers=max_workers
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -147,6 +161,7 @@ class ShardedIndex:
         strategy: str = "contiguous",
         row_arrays: Optional[Dict[str, np.ndarray]] = None,
         max_workers: Optional[int] = None,
+        backend: str = "thread",
     ) -> "ShardedIndex":
         """Partition ``x`` and build one index per shard.
 
@@ -164,7 +179,12 @@ class ShardedIndex:
                 for name, arr in (row_arrays or {}).items()
             }
             shards.append(factory(x[idx], **extra))
-        return cls(shards, global_ids=parts, max_workers=max_workers)
+        return cls(
+            shards,
+            global_ids=parts,
+            max_workers=max_workers,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -199,29 +219,40 @@ class ShardedIndex:
     # ------------------------------------------------------------------
     # Read path: fan out + merge
     # ------------------------------------------------------------------
-    def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            workers = self._max_workers or min(
-                len(self._shards), os.cpu_count() or 1
+    @property
+    def backend(self) -> str:
+        """The active shard-execution backend's name."""
+        return self._backend.name
+
+    def set_backend(self, backend: str) -> None:
+        """Switch the fan-out backend (closing the current one).
+
+        Results are bitwise identical across backends, so this is a
+        pure wall-clock decision — e.g. load a saved index and flip a
+        thread fan-out to process workers without rebuilding.
+        """
+        if backend == self._backend.name:
+            return
+        replacement = make_shard_backend(
+            backend, self._shards, max_workers=self._max_workers
+        )
+        self._backend.close()
+        self._backend = replacement
+        spec = getattr(self, "spec", None)
+        if spec is not None:
+            # Keep the attached declarative spec truthful — it is what
+            # save_index persists and what a rebuild would resolve.
+            # Replace rather than mutate: the caller may still hold it.
+            self.spec = dataclasses.replace(
+                spec,
+                sharding=dataclasses.replace(
+                    spec.sharding, backend=backend
+                ),
             )
-            self._pool = ThreadPoolExecutor(
-                max_workers=workers,
-                thread_name_prefix="repro-shard",
-            )
-            # Call sites that never close() (sweeps building many
-            # sharded indexes) must not leak idle pools for the process
-            # lifetime: tie the pool's shutdown to this index's GC.
-            self._pool_finalizer = weakref.finalize(
-                self, self._pool.shutdown, False
-            )
-        return self._pool
 
     def close(self) -> None:
-        """Shut the fan-out thread pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool_finalizer.detach()
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the fan-out backend down (idempotent)."""
+        self._backend.close()
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -233,25 +264,7 @@ class ShardedIndex:
         self, queries: np.ndarray, k: int, beam_width: int, kwargs: dict
     ) -> List[object]:
         """One ``search_batch`` per shard; results in shard order."""
-        if len(self._shards) == 1 or self._max_workers == 1:
-            return [
-                shard.search_batch(
-                    queries, k=k, beam_width=beam_width, **kwargs
-                )
-                for shard in self._shards
-            ]
-        pool = self._executor()
-        futures = [
-            pool.submit(
-                shard.search_batch,
-                queries,
-                k=k,
-                beam_width=beam_width,
-                **kwargs,
-            )
-            for shard in self._shards
-        ]
-        return [f.result() for f in futures]
+        return self._backend.search_all(queries, k, beam_width, kwargs)
 
     def search(
         self, query: np.ndarray, k: int = 10, beam_width: int = 32, **kwargs
@@ -417,6 +430,7 @@ class ShardedIndex:
             self._global_ids[s] = np.concatenate(
                 [self._global_ids[s], fresh]
             )
+            self._backend.invalidate(s)
         return [int(g) for g in global_ids]
 
     def delete(self, global_id: int) -> None:
@@ -427,8 +441,17 @@ class ShardedIndex:
         except KeyError:
             raise KeyError(f"no vertex {global_id}") from None
         self._shards[shard].delete(local)
+        self._backend.invalidate(shard)
 
     def consolidate(self) -> int:
         """Run delete consolidation on every shard; total cleaned up."""
         self._require_streaming()
-        return sum(int(s.consolidate()) for s in self._shards)
+        cleaned = 0
+        for s, shard in enumerate(self._shards):
+            cleaned_s = int(shard.consolidate())
+            if cleaned_s:
+                # Tombstone-free shards return 0 without mutating;
+                # re-shipping their state would be wasted I/O.
+                self._backend.invalidate(s)
+            cleaned += cleaned_s
+        return cleaned

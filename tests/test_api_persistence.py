@@ -163,6 +163,31 @@ def test_sharded_round_trip_bitwise(tmp_path, queries):
     assert_responses_identical(live, loaded.search(request))
 
 
+def test_sharded_round_trip_preserves_backend(tmp_path, queries):
+    spec = base_spec()
+    spec = IndexSpec(
+        dataset=spec.dataset,
+        graph=spec.graph,
+        quantizer=spec.quantizer,
+        sharding=ShardingSpec(num_shards=2, backend="process"),
+    )
+    index = build(spec)
+    assert index.backend == "process"
+    request = SearchRequest(queries=queries, k=5, beam_width=16)
+    live = index.search(request)
+    save_index(index, tmp_path)
+    index.close()
+    loaded = load_index(tmp_path)
+    assert isinstance(loaded, ShardedIndex)
+    assert loaded.backend == "process"
+    assert loaded.spec == spec
+    assert_responses_identical(live, loaded.search(request))
+    # The loaded index can flip back to the thread backend in place.
+    loaded.set_backend("thread")
+    assert_responses_identical(live, loaded.search(request))
+    loaded.close()
+
+
 def test_streaming_round_trip_preserves_write_path(tmp_path, queries):
     spec = base_spec(kind="streaming", params={"r": 8, "search_l": 16})
     index = build(spec)

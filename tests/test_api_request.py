@@ -78,6 +78,15 @@ def test_request_rejects_bad_shapes_and_params():
         SearchRequest(queries=np.zeros(4), beam_width=0)
 
 
+def test_request_rejects_scalar_queries():
+    # A 0-dim scalar used to slip through, become a (1, 1) matrix via
+    # atleast_2d, and fail much later with a confusing dim mismatch.
+    with pytest.raises(ValueError, match="queries"):
+        SearchRequest(queries=np.float64(3.0))
+    with pytest.raises(ValueError, match="queries"):
+        SearchRequest(queries=3.0)
+
+
 def test_response_row_helpers():
     response = SearchResponse(
         ids=np.array([[3, 5, -1]]),
@@ -267,3 +276,56 @@ def test_max_beam_width_passes_through(setup):
     assert execute_request(index, request).counters[
         "beam_widths_used"
     ].max() <= 64
+
+
+# ----------------------------------------------------------------------
+# B=0 requests: the empty batch flows through every typed surface
+# ----------------------------------------------------------------------
+
+
+def empty_request(dim, k=5):
+    return SearchRequest(queries=np.empty((0, dim)), k=k, beam_width=16)
+
+
+def test_empty_request_on_plain_index(setup):
+    data, quantizer, graph = setup
+    index = MemoryIndex(graph, quantizer, data.base)
+    response = index.search(empty_request(data.base.shape[1]))
+    assert response.num_queries == 0
+    assert response.ids.shape == (0, 5)
+    assert response.distances.shape == (0, 5)
+    assert response.counts.shape == (0,)
+    assert response.hops.shape == (0,)
+
+
+def test_empty_request_on_sharded_index(setup):
+    data, quantizer, _ = setup
+    x = data.base
+    parts = partition_rows(x.shape[0], 3)
+    sharded = ShardedIndex(
+        [
+            MemoryIndex(
+                build_vamana(x[idx], r=8, search_l=20, seed=0),
+                quantizer,
+                x[idx],
+            )
+            for idx in parts
+        ],
+        global_ids=parts,
+    )
+    response = sharded.search(empty_request(x.shape[1]))
+    assert response.num_queries == 0
+    assert response.ids.shape == (0, 5)
+    assert response.counts.shape == (0,)
+    assert response.hops.shape == (0,)
+
+
+def test_empty_request_through_batcher(setup):
+    data, quantizer, graph = setup
+    index = MemoryIndex(graph, quantizer, data.base)
+    with DynamicBatcher(index, k=5, beam_width=16, max_batch_size=4) as b:
+        response = b.search(empty_request(data.base.shape[1]))
+    assert response.num_queries == 0
+    assert response.ids.shape == (0, 5)
+    assert response.distances.shape == (0, 5)
+    assert response.counts.shape == (0,)

@@ -39,7 +39,9 @@ def full_spec() -> IndexSpec:
             params={"opq_iter": 3},
         ),
         scenario=ScenarioSpec(kind="hybrid", params={"io_width": 2}),
-        sharding=ShardingSpec(num_shards=3, strategy="round_robin"),
+        sharding=ShardingSpec(
+            num_shards=3, strategy="round_robin", backend="process"
+        ),
     )
 
 
@@ -65,6 +67,31 @@ def test_default_spec_round_trips():
 def test_partial_dict_fills_defaults():
     spec = IndexSpec.from_dict({"scenario": {"kind": "memory"}})
     assert spec == IndexSpec()
+
+
+def test_sharding_backend_round_trips():
+    spec = IndexSpec(sharding=ShardingSpec(num_shards=2, backend="process"))
+    payload = spec.to_dict()
+    assert payload["sharding"]["backend"] == "process"
+    assert IndexSpec.from_dict(payload) == spec
+    # Default stays "thread" and a backend typo is an unknown key.
+    assert IndexSpec.from_dict({}).sharding.backend == "thread"
+    with pytest.raises(ValueError, match="unknown keys"):
+        IndexSpec.from_dict({"sharding": {"backned": "process"}})
+
+
+def test_build_rejects_unknown_backend():
+    data = load("sift", n_base=60, n_queries=2, seed=0).base
+    quantizer = ProductQuantizer(8, 8, seed=0).fit(data)
+    # Sharded and unsharded alike: a typo'd backend value fails loudly
+    # up front (before any graph builds), matching the unknown-key
+    # contract of the spec layer.
+    for num_shards in (1, 2):
+        spec = IndexSpec(
+            sharding=ShardingSpec(num_shards=num_shards, backend="proces")
+        )
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            build(spec, data=data, quantizer=quantizer)
 
 
 def test_unknown_section_rejected():

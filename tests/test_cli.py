@@ -34,6 +34,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "serve", "--shards", "-2"])
 
+    def test_shard_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--shard-backend", "rpc"])
+
+    def test_shard_backend_requires_shards(self, capsys):
+        # The flag would otherwise be silently ignored on an unsharded
+        # index — fail loudly instead, before any expensive work.
+        assert main(["demo", "--shard-backend", "process"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert (
+            main(["experiment", "serve", "--shard-backend", "process"]) == 2
+        )
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_profiles(self, capsys):
@@ -129,6 +143,51 @@ class TestIndexCommand:
             ["index", "search", "--dir", out_dir, "--k", "5"]
         ) == 0
         assert "recall@5" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_sharded_search_with_process_backend(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "idx")
+        code = main(
+            [
+                "index", "build", "--out", out_dir,
+                "--n-base", "250", "--n-queries", "6",
+                "--codewords", "16", "--shards", "2",
+            ]
+        )
+        assert code == 0
+        assert "shards=2" in capsys.readouterr().out
+        assert main(
+            [
+                "index", "search", "--dir", out_dir,
+                "--k", "5", "--shard-backend", "process",
+            ]
+        ) == 0
+        assert "recall@5" in capsys.readouterr().out
+
+    def test_shard_backend_flag_rejects_unsharded_dir(
+        self, tmp_path, capsys
+    ):
+        import numpy as np
+
+        from repro.api import save_index
+        from repro.graphs import build_vamana
+        from repro.index import MemoryIndex
+        from repro.quantization import ProductQuantizer
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 16))
+        quantizer = ProductQuantizer(4, 8, seed=0).fit(x)
+        graph = build_vamana(x, r=4, search_l=8, seed=0)
+        out_dir = str(tmp_path / "idx")
+        save_index(MemoryIndex(graph, quantizer, x), out_dir)
+        code = main(
+            [
+                "index", "search", "--dir", out_dir,
+                "--shard-backend", "process",
+            ]
+        )
+        assert code == 2
+        assert "unsharded" in capsys.readouterr().err
 
     def test_build_refuses_unpersistable_catalyst(self, tmp_path, capsys):
         code = main(
