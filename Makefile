@@ -7,8 +7,9 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-batch test-build bench-batch bench-build \
-	bench-serving smoke smoke-examples demo lint ci ci-full
+.PHONY: test test-fast test-batch test-build test-replication \
+	chaos-smoke bench-batch bench-build bench-serving smoke \
+	smoke-examples demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -27,6 +28,19 @@ test-batch:
 # Lockstep-construction parity (batched vs sequential builds).
 test-build:
 	$(PYTHON) -m pytest -x -q tests/test_build_parity.py
+
+# Replicated fleet: the full five-scenario replicated-vs-unreplicated
+# parity matrix plus routing/failover/supervisor coverage.
+test-replication:
+	$(PYTHON) -m pytest -x -q tests/test_replication.py
+
+# The SIGKILL-mid-load chaos gate alone (fast lane): kill a process
+# replica under traffic — zero failed requests, bitwise-identical
+# answers, supervisor respawn.  Correctness-gated, not timing-gated,
+# so it is deterministic on a loaded 1-CPU runner.
+chaos-smoke:
+	$(PYTHON) -m pytest -x -q tests/test_replication.py -k Chaos \
+		-m "not slow"
 
 # Single-vs-batch QPS on memory + hybrid scenarios (>= 3x gate).
 bench-batch:
@@ -52,6 +66,7 @@ lint:
 		$(PYTHON) -m ruff format --check src/repro/serving \
 			tests/test_sharded.py tests/test_batcher.py \
 			tests/test_shard_backends.py \
+			tests/test_replication.py \
 			benchmarks/bench_serving.py; \
 	else \
 		echo "ruff not installed; skipping lint (CI installs it)"; \
@@ -70,13 +85,17 @@ smoke-examples:
 	done
 
 # Fast lane — what CI runs on every push/PR (keep in lockstep with
-# .github/workflows/ci.yml).
-ci: lint test-fast smoke-examples
+# .github/workflows/ci.yml).  chaos-smoke is nominally a subset of
+# test-fast, but naming it keeps the kill-a-replica gate explicit even
+# if the replication tests are ever re-marked.
+ci: lint test-fast chaos-smoke smoke-examples
 
 # Full lane — nightly CI: full tier-1 plus the benchmark identity /
 # determinism checks.  Speedup gates are timing-flaky on shared
 # runners, so the nightly job sets REPRO_SKIP_SPEEDUP_GATES=1.
-ci-full: lint test smoke-examples
+# (`test` already includes the slow replica matrix; test-replication
+# re-runs it by name so a marker change can never silently drop it.)
+ci-full: lint test test-replication smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
 		bench_build.py bench_serving.py -q
 

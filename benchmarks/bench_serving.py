@@ -24,6 +24,13 @@ gates; the determinism assertions always run):
   nightly lane does (the committed baseline from a single-CPU
   container records the gate as not enforced).
 
+A chaos gate closes the run: a replicated process fleet takes a
+SIGKILL to one replica mid-stream and must answer every request with
+zero failures and results bitwise identical to the unreplicated
+index, then the background supervisor must respawn the killed worker.
+These assertions are about correctness, not timing, so they always run
+(no ``REPRO_SKIP_SPEEDUP_GATES`` needed — they hold on a 1-CPU box).
+
 The run also emits the committed ``BENCH_serving.json`` baseline at
 the repo root (machine-readable QPS/latency/speedup snapshot).
 """
@@ -31,6 +38,7 @@ the repo root (machine-readable QPS/latency/speedup snapshot).
 from __future__ import annotations
 
 import os
+import signal
 import time
 
 import numpy as np
@@ -66,6 +74,13 @@ SHARD_COUNTS = (1, 4)
 FANOUT_SHARDS = 4
 FANOUT_STREAM = 128
 FANOUT_REPEATS = 3
+CHAOS_SHARDS = 2
+CHAOS_REPLICAS = 2
+CHAOS_REQUESTS = 12
+#: Generous wall-clock budget for the supervisor's detect → respawn →
+#: verify loop — a deadline, not a timing assertion, so the gate stays
+#: deterministic on a loaded single-CPU CI box.
+CHAOS_RESPAWN_DEADLINE_S = 60.0
 
 
 def measure_fanout(index, queries, k=10, beam_width=32,
@@ -113,6 +128,72 @@ def run_fanout_comparison(prepared, quantizer):
     }
 
 
+def run_chaos(prepared, quantizer):
+    """Kill one replica of a replicated process fleet mid-stream.
+
+    The request stream must see zero failures, every answer must be
+    bitwise identical to the unreplicated index, and the supervisor
+    must respawn the killed worker (verified by fleet_status, polled
+    up to a generous deadline).
+    """
+    queries = prepared.dataset.queries
+    reference = make_index("memory", prepared, quantizer, seed=0,
+                           num_shards=CHAOS_SHARDS)
+    index = make_index(
+        "memory",
+        prepared,
+        quantizer,
+        seed=0,
+        num_shards=CHAOS_SHARDS,
+        shard_backend="process",
+        replicas=CHAOS_REPLICAS,
+    )
+    failed = 0
+    identical = True
+    try:
+        expected = reference.search_batch(queries, k=10, beam_width=32)
+        index.search_batch(queries[:1], k=10, beam_width=32)  # warm fleet
+        victim = next(
+            s["pid"] for s in index.fleet_status() if s["pid"] is not None
+        )
+        for i in range(CHAOS_REQUESTS):
+            if i == 1:
+                os.kill(victim, signal.SIGKILL)
+            try:
+                got = index.search_batch(queries, k=10, beam_width=32)
+            except Exception:
+                failed += 1
+                continue
+            identical = identical and bool(
+                np.array_equal(got.ids, expected.ids)
+                and np.array_equal(got.distances, expected.distances)
+            )
+        deadline = time.monotonic() + CHAOS_RESPAWN_DEADLINE_S
+        respawned = False
+        while time.monotonic() < deadline and not respawned:
+            status = index.fleet_status()
+            respawned = all(s["alive"] for s in status) and any(
+                s["restarts"] > 0 for s in status
+            )
+            if not respawned:
+                time.sleep(0.25)
+        final = index.search_batch(queries, k=10, beam_width=32)
+        identical = identical and bool(
+            np.array_equal(final.ids, expected.ids)
+        )
+    finally:
+        index.close()
+        reference.close()
+    return {
+        "shards": CHAOS_SHARDS,
+        "replicas": CHAOS_REPLICAS,
+        "requests": CHAOS_REQUESTS,
+        "failed_requests": failed,
+        "identical_to_unreplicated": identical,
+        "supervisor_respawned": respawned,
+    }
+
+
 def run():
     # One dataset/graph/ground-truth bundle shared by every
     # measurement below (graph builds dominate setup time).
@@ -141,6 +222,7 @@ def run():
     )
 
     fanout = run_fanout_comparison(prepared, quantizer)
+    chaos = run_chaos(prepared, quantizer)
 
     # Determinism check: served answers equal direct search answers.
     with DynamicBatcher(index, k=10, beam_width=32,
@@ -151,11 +233,11 @@ def run():
         np.array_equal(row.ids, index.search(q, k=10, beam_width=32).ids)
         for row, q in zip(served, prepared.dataset.queries)
     )
-    return points, guard_speedup, fanout, identical
+    return points, guard_speedup, fanout, chaos, identical
 
 
 def test_serving_throughput(benchmark):
-    points, guard_speedup, fanout, identical = benchmark.pedantic(
+    points, guard_speedup, fanout, chaos, identical = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
 
@@ -196,6 +278,13 @@ def test_serving_throughput(benchmark):
         f"{fmt(fanout['speedup'], 2)}x "
         f"({usable_cpus()} usable CPU(s))"
     )
+    blocks.append(
+        f"[chaos] SIGKILL one of {chaos['shards']}x{chaos['replicas']} "
+        f"replicas mid-stream: {chaos['failed_requests']} failed "
+        f"request(s) / {chaos['requests']}, identical="
+        f"{chaos['identical_to_unreplicated']}, supervisor respawn="
+        f"{chaos['supervisor_respawned']}"
+    )
     save_report("serving_throughput", "\n\n".join(blocks))
 
     save_json_baseline(
@@ -234,6 +323,7 @@ def test_serving_throughput(benchmark):
                 "gate_threshold": 1.5,
                 "gate_enforced": process_speedup_gate_enabled(),
             },
+            "chaos": chaos,
         },
     )
 
@@ -242,6 +332,19 @@ def test_serving_throughput(benchmark):
     assert identical, "served answers diverged from direct search"
     assert fanout["identical"], (
         "process-backend answers diverged from the thread backend"
+    )
+    # The chaos gate is correctness, not timing: it always runs.
+    assert chaos["failed_requests"] == 0, (
+        f"{chaos['failed_requests']} request(s) failed after a replica "
+        "SIGKILL; failover must be transparent"
+    )
+    assert chaos["identical_to_unreplicated"], (
+        "replicated fleet answers diverged from the unreplicated index "
+        "after a replica SIGKILL"
+    )
+    assert chaos["supervisor_respawned"], (
+        "the supervisor did not respawn the killed replica within "
+        f"{CHAOS_RESPAWN_DEADLINE_S:.0f}s"
     )
 
     if speedup_gates_enabled():

@@ -67,6 +67,7 @@ def _save_spec(
     scenario_name: str,
     num_shards: int = 1,
     backend: str = "thread",
+    replicas: int = 1,
 ) -> None:
     spec = getattr(index, "spec", None)
     if spec is None:
@@ -75,7 +76,9 @@ def _save_spec(
         # sections keep their defaults and are descriptive only).
         spec = IndexSpec(
             scenario=ScenarioSpec(kind=scenario_name),
-            sharding=ShardingSpec(num_shards=num_shards, backend=backend),
+            sharding=ShardingSpec(
+                num_shards=num_shards, backend=backend, replicas=replicas
+            ),
         )
     _write_json(os.path.join(dirpath, _SPEC_FILE), spec.to_dict())
 
@@ -111,6 +114,7 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
                     "next_global": int(index._next_global),
                     "max_workers": index._max_workers,
                     "backend": index.backend,
+                    "replicas": index.replicas,
                     "shard_scenarios": sorted(names),
                 },
             },
@@ -121,6 +125,7 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
             sorted(names)[0],
             index.num_shards,
             backend=index.backend,
+            replicas=index.replicas,
         )
         return dirpath
 
@@ -186,6 +191,7 @@ def load_index(dirpath: Union[str, os.PathLike]) -> object:
             global_ids=global_ids,
             max_workers=state.get("max_workers"),
             backend=state.get("backend", "thread"),
+            replicas=int(state.get("replicas", 1)),
         )
         index._next_global = int(state["next_global"])
         _attach_spec(index, dirpath)

@@ -34,6 +34,26 @@ import numpy as np
 _CORE_FIELDS = ("ids", "distances", "counts")
 
 
+def ensure_finite_queries(queries: np.ndarray) -> None:
+    """Reject NaN/inf query components with a clear ``ValueError``.
+
+    Non-finite coordinates produce NaN distances, and NaN poisons every
+    comparison downstream — graph routing misorders its beam and the
+    sharded merge's boundary-tie selection breaks with an opaque
+    reshape error.  Every search entry point (``SearchRequest``, the
+    scenario ``search_batch`` surfaces, the sharded router, the dynamic
+    batcher) calls this so the failure is immediate and named instead.
+    """
+    if not np.isfinite(queries).all():
+        bad = np.nonzero(~np.isfinite(np.atleast_2d(queries)).all(axis=1))[0]
+        raise ValueError(
+            f"queries contain non-finite values (NaN/inf) in row(s) "
+            f"{bad[:10].tolist()}; distances over non-finite "
+            "coordinates are meaningless and would poison the "
+            "top-k merge"
+        )
+
+
 @dataclass
 class SearchRequest:
     """One search call, described as data.
@@ -70,6 +90,7 @@ class SearchRequest:
                 f"queries must be (dim,) or (B, dim), got shape "
                 f"{self.queries.shape}"
             )
+        ensure_finite_queries(self.queries)
         if self.k < 1:
             raise ValueError("k must be >= 1")
         if self.beam_width < 1:

@@ -304,6 +304,9 @@ def build(
     num_shards = int(spec.sharding.num_shards)
     if num_shards < 1:
         raise ValueError("sharding.num_shards must be >= 1")
+    replicas = int(spec.sharding.replicas)
+    if replicas < 1:
+        raise ValueError("sharding.replicas must be >= 1")
     # Validate the backend name up front (even unsharded, where it is
     # unused): a typo'd spec value must fail loudly like unknown keys
     # do, and before any expensive per-shard graph builds.
@@ -315,7 +318,7 @@ def build(
             f"expected one of {shard_backend_names()}"
         )
 
-    if num_shards == 1:
+    if num_shards == 1 and replicas == 1:
         if graph is None and handler.needs_graph:
             graph = build_graph_from_spec(spec.graph, x)
         if quantizer is None:
@@ -336,10 +339,18 @@ def build(
     from ..serving import ShardedIndex, partition_rows
 
     if graph is not None:
-        raise ValueError(
-            "a single 'graph' override cannot back a sharded index; "
-            "pass per-shard 'shard_graphs' (with 'shard_parts') instead"
-        )
+        if num_shards > 1:
+            raise ValueError(
+                "a single 'graph' override cannot back a sharded index; "
+                "pass per-shard 'shard_graphs' (with 'shard_parts') "
+                "instead"
+            )
+        # A replicated single-shard fleet: the one graph backs the one
+        # shard (replication is about workers, not partitioning).
+        if shard_graphs is None:
+            shard_graphs = [graph]
+        if shard_parts is None:
+            shard_parts = [np.arange(x.shape[0], dtype=np.int64)]
     if shard_parts is None:
         shard_parts = partition_rows(
             x.shape[0], num_shards, spec.sharding.strategy
@@ -391,6 +402,7 @@ def build(
         global_ids=shard_parts,
         max_workers=spec.sharding.max_workers,
         backend=spec.sharding.backend,
+        replicas=replicas,
     )
     index.spec = spec
     return index

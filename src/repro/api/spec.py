@@ -104,12 +104,18 @@ class ShardingSpec:
     bitwise identical across backends, only wall-clock changes.
     ``max_workers`` bounds the thread backend's pool width and is
     ignored by the process backend (one worker process per shard).
+    ``replicas`` is the worker count per shard: ``1`` runs the chosen
+    backend directly, ``> 1`` runs a replicated fleet of that
+    backend's worker kind (least-loaded routing, in-request failover,
+    background supervisor — see :mod:`repro.serving.replication`);
+    results are bitwise identical at any replica count.
     """
 
     num_shards: int = 1
     strategy: str = "contiguous"
     max_workers: Optional[int] = None
     backend: str = "thread"
+    replicas: int = 1
 
 
 @dataclass

@@ -124,7 +124,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             params=scenario_params,
         ),
         sharding=ShardingSpec(
-            num_shards=args.shards, backend=args.shard_backend
+            num_shards=args.shards,
+            backend=args.shard_backend,
+            replicas=args.replicas,
         ),
     )
     shard_parts = shard_graphs = None
@@ -164,6 +166,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     if args.shards > 1:
         engine += f", {args.shards} shards ({args.shard_backend})"
+    if args.replicas > 1:
+        engine += f", {args.replicas} replicas/shard"
     if args.float32 and args.scenario == "memory":
         engine += ", float32 storage"
     print(
@@ -203,6 +207,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             batch_sizes=batch_sizes,
             num_shards=args.shards,
             shard_backend=args.shard_backend,
+            replicas=args.replicas,
             graph_kind=args.graph,
             seed=args.seed,
         )
@@ -342,7 +347,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
                     seed=args.seed,
                 ),
                 scenario=ScenarioSpec(kind=args.scenario),
-                sharding=ShardingSpec(num_shards=args.shards),
+                sharding=ShardingSpec(
+                    num_shards=args.shards, replicas=args.replicas
+                ),
             )
         if spec.quantizer.kind == "catalyst":
             # Fail before the expensive build: Catalyst's MLP is
@@ -390,6 +397,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 )
                 return 2
             index.set_backend(args.shard_backend)
+        if args.replicas:
+            if not isinstance(index, ShardedIndex):
+                print(
+                    f"{args.dir} holds an unsharded index; "
+                    "--replicas applies to sharded indexes only",
+                    file=sys.stderr,
+                )
+                return 2
+            index.set_replicas(args.replicas)
         spec = getattr(index, "spec", None)
         if spec is None:
             print(f"{args.dir} has no spec.json", file=sys.stderr)
@@ -497,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="where the shard fan-out runs: the in-process thread pool "
         "or persistent per-shard worker processes",
     )
+    p_demo.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="workers per shard (> 1 runs the replicated fleet: "
+        "least-loaded routing, failover, background supervisor)",
+    )
     p_demo.set_defaults(func=_cmd_demo)
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
@@ -526,6 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         default="thread",
         help="'serve' experiment: shard-execution backend for the fan-out",
+    )
+    p_exp.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="'serve' experiment: workers per shard (> 1 serves through "
+        "the replicated fleet)",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -560,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--chunks", type=int, default=8)
     p_build.add_argument("--codewords", type=int, default=32)
     p_build.add_argument("--shards", type=_positive_int, default=1)
+    p_build.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="workers per shard recorded in the saved spec",
+    )
     p_build.add_argument("--seed", type=int, default=0)
     p_build.set_defaults(func=_cmd_index)
 
@@ -581,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="sharded indexes: override the saved fan-out backend "
         "(default: keep whatever the directory recorded)",
+    )
+    p_search.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=0,
+        help="sharded indexes: override the saved workers-per-shard "
+        "count (default: keep whatever the directory recorded)",
     )
     p_search.set_defaults(func=_cmd_index)
 

@@ -195,6 +195,7 @@ def make_index(
     seed: int = 0,
     num_shards: int = 1,
     shard_backend: str = "thread",
+    replicas: int = 1,
 ):
     """Instantiate the scenario's index (``memory`` or ``hybrid``)
     through the unified :func:`repro.api.build` factory.
@@ -206,7 +207,9 @@ def make_index(
     ``shard_backend`` (``"thread"`` or ``"process"``) executes the
     per-shard searches.  Per-shard graphs are cached on ``prepared``
     (they depend only on the rows and seed) and passed to
-    :func:`~repro.api.build` as overrides.
+    :func:`~repro.api.build` as overrides.  ``replicas > 1`` serves
+    each shard from that many workers of the chosen backend kind (the
+    replicated fleet; results are bitwise identical at any count).
     """
     from ..api import (
         DatasetSpec,
@@ -224,23 +227,28 @@ def make_index(
         seed=prepared.seed,
     )
     graph_spec = GraphSpec(kind=prepared.graph_kind, seed=prepared.seed)
-    if num_shards > 1:
+    if num_shards > 1 or replicas > 1:
         from ..serving import partition_rows
 
         if num_shards not in prepared.shard_graph_cache:
             parts = partition_rows(x.shape[0], num_shards)
-            builder = GRAPH_BUILDERS[prepared.graph_kind]
-            prepared.shard_graph_cache[num_shards] = (
-                parts,
-                [builder(x[idx], prepared.seed) for idx in parts],
-            )
+            if num_shards == 1:
+                # A replicated single-shard fleet: the one shard is the
+                # whole dataset, so the prepared graph already covers it.
+                graphs = [prepared.graph]
+            else:
+                builder = GRAPH_BUILDERS[prepared.graph_kind]
+                graphs = [builder(x[idx], prepared.seed) for idx in parts]
+            prepared.shard_graph_cache[num_shards] = (parts, graphs)
         parts, graphs = prepared.shard_graph_cache[num_shards]
         spec = IndexSpec(
             dataset=dataset_spec,
             graph=graph_spec,
             scenario=_scenario_spec(scenario, method, seed),
             sharding=ShardingSpec(
-                num_shards=num_shards, backend=shard_backend
+                num_shards=num_shards,
+                backend=shard_backend,
+                replicas=replicas,
             ),
         )
         return build(
@@ -609,6 +617,7 @@ def run_serving(
     wait_ms: Sequence[float] = (0.0, 2.0, 8.0),
     num_shards: int = 1,
     shard_backend: str = "thread",
+    replicas: int = 1,
     num_chunks: int = 8,
     num_codewords: int = 32,
     beam_width: int = 32,
@@ -626,9 +635,10 @@ def run_serving(
     baseline (``max_wait_ms`` is irrelevant there, so it is measured
     once).  ``num_shards > 1`` serves from a sharded fan-out index;
     ``shard_backend`` picks its execution backend (``"thread"`` or
-    ``"process"``) and the index is warmed with one search first so
-    backend startup (pool creation, worker spawn + state shipping)
-    stays out of the measured stream.  Pass ``prepared`` to reuse an
+    ``"process"``), ``replicas > 1`` serves each shard from that many
+    workers (the replicated fleet), and the index is warmed with one
+    search first so backend startup (pool creation, worker spawn +
+    state shipping) stays out of the measured stream.  Pass ``prepared`` to reuse an
     existing dataset/graph/ground-truth bundle (graph builds dominate
     setup time) instead of re-preparing from the dataset parameters.
     """
@@ -651,9 +661,10 @@ def run_serving(
         seed=seed,
         num_shards=num_shards,
         shard_backend=shard_backend,
+        replicas=replicas,
     )
     queries = prepared.dataset.queries
-    if num_shards > 1:
+    if num_shards > 1 or replicas > 1:
         # Warm the fan-out backend (thread-pool creation, or process
         # worker spawn + state shipping) outside the measured stream.
         index.search_batch(queries[:1], k=k, beam_width=beam_width)

@@ -22,7 +22,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, SearchResponse, execute_request
+from ..api.protocol import (
+    SearchRequest,
+    SearchResponse,
+    ensure_finite_queries,
+    execute_request,
+)
 from ..engine import SearchContext, execute
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
@@ -292,6 +297,7 @@ class DiskIndex:
         if k < 1:
             raise ValueError("k must be >= 1")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ensure_finite_queries(queries)
         b = queries.shape[0]
         if b == 0:
             return DiskBatchResult(

@@ -19,7 +19,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, SearchResponse, execute_request
+from ..api.protocol import (
+    SearchRequest,
+    SearchResponse,
+    ensure_finite_queries,
+    execute_request,
+)
 from ..engine import SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.base import BaseQuantizer
@@ -203,6 +208,7 @@ class FilteredMemoryIndex:
         if k < 1:
             raise ValueError("k must be >= 1")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ensure_finite_queries(queries)
         b = queries.shape[0]
         labels_arr = np.asarray(labels).reshape(-1)
         if labels_arr.size == 1:

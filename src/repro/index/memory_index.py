@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, SearchResponse, execute_request
+from ..api.protocol import (
+    SearchRequest,
+    SearchResponse,
+    ensure_finite_queries,
+    execute_request,
+)
 from ..engine import BatchSearchResult, SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
@@ -290,6 +295,7 @@ class MemoryIndex:
         """
         self._validate_k(k, beam_width)
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ensure_finite_queries(queries)
         if queries.shape[0] == 0:
             return MemoryBatchResult(
                 ids=np.empty((0, k), dtype=np.int64),

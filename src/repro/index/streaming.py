@@ -31,7 +31,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, SearchResponse, execute_request
+from ..api.protocol import (
+    SearchRequest,
+    SearchResponse,
+    ensure_finite_queries,
+    execute_request,
+)
 from ..engine import SearchContext, lockstep_apply
 from ..graphs.base import medoid
 from ..graphs.beam import BatchDistanceFn, beam_search, beam_search_batch
@@ -450,6 +455,7 @@ class FreshVamanaIndex:
         if k < 1:
             raise ValueError("k must be >= 1")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ensure_finite_queries(queries)
         b = queries.shape[0]
         if b == 0 or self._entry is None or self.num_active == 0:
             return StreamingBatchResult(

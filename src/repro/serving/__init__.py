@@ -12,6 +12,11 @@ This package turns the library into the shape of a server (see
   shard candidates, bitwise identical across backends and to the
   unsharded index for a single shard.  Routes
   ``insert_batch``/``delete`` for the streaming scenario.
+* :class:`ReplicatedBackend` — N replicas per shard over either worker
+  kind, with least-loaded routing, transparent in-request failover,
+  and a background supervisor that respawns dead workers from
+  persisted state off the search critical path
+  (``ShardedIndex(..., replicas=N)``).
 * :class:`DynamicBatcher` — a request queue that accumulates single
   queries into micro-batches (size- or deadline-triggered; the
   ``max_wait_ms`` knob trades latency for throughput) and answers them
@@ -29,14 +34,17 @@ from .backends import (
     ThreadBackend,
     make_shard_backend,
     shard_backend_names,
+    usable_cpu_count,
 )
 from .batcher import BatcherStats, DynamicBatcher
+from .replication import ReplicatedBackend
 from .sharded import ShardedIndex, partition_rows
 
 __all__ = [
     "BatcherStats",
     "DynamicBatcher",
     "ProcessBackend",
+    "ReplicatedBackend",
     "SHARD_BACKENDS",
     "ShardBackend",
     "ShardedIndex",
@@ -44,4 +52,5 @@ __all__ = [
     "make_shard_backend",
     "partition_rows",
     "shard_backend_names",
+    "usable_cpu_count",
 ]

@@ -36,9 +36,24 @@ import os
 import shutil
 import tempfile
 import threading
+import traceback
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count`` reports the host's cores even when the process is
+    pinned to fewer (``taskset``, cgroup cpusets, container quotas);
+    sizing a pool from it oversubscribes the usable cores.  Prefer the
+    scheduler affinity mask where the platform has one.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
 
 
 class ShardBackend:
@@ -51,6 +66,8 @@ class ShardBackend:
     """
 
     name: str = ""
+    #: replicas per shard — plain backends run each shard in one place
+    replicas: int = 1
 
     def __init__(
         self, shards: Sequence[object], max_workers: Optional[int] = None
@@ -62,8 +79,30 @@ class ShardBackend:
     def search_all(
         self, queries, k: int, beam_width: int, kwargs: dict
     ) -> List[object]:
-        """One scenario batch result per shard, in shard order."""
+        """One scenario batch result per shard, in shard order.
+
+        A ``None`` entry means that shard produced no candidates this
+        request (every replica lost, replicated backend only); the
+        router's merge pads the missing shard instead of erroring.
+        """
         raise NotImplementedError
+
+    def fleet_status(self) -> List[dict]:
+        """Per-replica liveness/introspection rows (uniform across
+        backends; plain backends report one always-alive replica per
+        shard — the in-process object or the single worker)."""
+        return [
+            {
+                "shard": s,
+                "replica": 0,
+                "backend": self.name,
+                "alive": True,
+                "restarts": 0,
+                "in_flight": 0,
+                "pid": None,
+            }
+            for s in range(len(self._shards))
+        ]
 
     def invalidate(self, shard: int) -> None:
         """Note that ``shard``'s state changed (streaming write path).
@@ -81,7 +120,9 @@ class ThreadBackend(ShardBackend):
     """In-process fan-out over a lazily created thread pool.
 
     The effective pool width resolves once at construction: an explicit
-    ``max_workers``, else one thread per shard capped at the CPU count.
+    ``max_workers``, else one thread per shard capped at the *usable*
+    CPU count (the scheduler affinity mask, so an affinity-restricted
+    container never oversubscribes — see :func:`usable_cpu_count`).
     A resolved width of 1 (single shard, ``max_workers=1``, or a
     single-CPU host) never builds a pool — a one-thread pool adds
     dispatch overhead plus a GC finalizer for zero overlap.
@@ -94,7 +135,7 @@ class ThreadBackend(ShardBackend):
     ) -> None:
         super().__init__(shards, max_workers)
         self._workers = int(
-            max_workers or min(len(self._shards), os.cpu_count() or 1)
+            max_workers or min(len(self._shards), usable_cpu_count())
         )
         self._pool: Optional[ThreadPoolExecutor] = None
 
@@ -176,6 +217,11 @@ def _shard_worker_main(dirpath: str, conn) -> None:
             if command == "reload":
                 index = load_index(dirpath)
                 conn.send(("ready", None))
+            elif command == "ping":
+                # Health probe: proves the worker loop is responsive
+                # (not just that the process exists), used by the
+                # replication supervisor's detect->respawn->verify pass.
+                conn.send(("ok", "pong"))
             elif command == "search":
                 _, queries, k, beam_width, kwargs = message
                 result = index.search_batch(
@@ -188,12 +234,55 @@ def _shard_worker_main(dirpath: str, conn) -> None:
             _send_error(conn, exc)
 
 
+class _RemoteTraceback(Exception):
+    """Carrier for a worker-side traceback, chained as ``__cause__`` of
+    the re-raised exception so the remote frames appear in the parent's
+    traceback (the ``concurrent.futures.process`` idiom)."""
+
+    def __init__(self, tb: str) -> None:
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return "\n" + self.tb
+
+
+def _raise_worker_error(payload: BaseException) -> None:
+    """Re-raise a worker exception with its remote traceback attached.
+
+    Pickling an exception across the pipe discards its traceback; the
+    worker formats it into ``remote_traceback`` before sending, and the
+    parent chains it here so the failing shard-side frames are visible
+    instead of an opaque ``raise payload``.
+    """
+    tb = getattr(payload, "remote_traceback", None)
+    if tb:
+        payload.__cause__ = _RemoteTraceback(tb)
+    raise payload
+
+
 def _send_error(conn, exc: BaseException) -> None:
+    """Ship ``exc`` (plus its formatted traceback) to the parent.
+
+    Never raises: an unpicklable exception degrades to its repr, and a
+    closed pipe during error reporting is swallowed — the original
+    exception must stay the story (the parent sees EOF and reports the
+    worker death), not a secondary ``BrokenPipeError`` masking it.
+    """
+    tb = traceback.format_exc()
+    try:
+        exc.remote_traceback = tb
+    except Exception:
+        pass  # exotic exceptions may reject attributes; send bare
     try:
         conn.send(("error", exc))
     except Exception:
         # Unpicklable exception: degrade to its repr.
-        conn.send(("error", RuntimeError(repr(exc))))
+        fallback = RuntimeError(repr(exc))
+        fallback.remote_traceback = tb
+        try:
+            conn.send(("error", fallback))
+        except Exception:
+            pass  # pipe closed mid-report: nothing more to do
 
 
 def _shutdown_workers(procs, conns, tmpdir: str) -> None:
@@ -303,7 +392,7 @@ class ProcessBackend(ShardBackend):
                 f"shard worker {shard} exited unexpectedly"
             ) from None
         if status == "error":
-            raise payload
+            _raise_worker_error(payload)
         if status != expected:
             raise RuntimeError(
                 f"shard worker {shard} answered {status!r}, "
@@ -372,7 +461,7 @@ class ProcessBackend(ShardBackend):
                 raise
         for status, payload in outcomes:
             if status == "error":
-                raise payload
+                _raise_worker_error(payload)
         return [payload for _, payload in outcomes]
 
 
@@ -393,8 +482,16 @@ def make_shard_backend(
     name: str,
     shards: Sequence[object],
     max_workers: Optional[int] = None,
+    replicas: int = 1,
 ) -> ShardBackend:
-    """Construct the named backend over ``shards``."""
+    """Construct the named backend over ``shards``.
+
+    ``replicas > 1`` wraps the named backend's execution substrate in
+    a :class:`~repro.serving.replication.ReplicatedBackend`: ``name``
+    becomes the *inner* backend each replica runs as, and shard calls
+    route to the least-loaded healthy replica with in-request failover
+    (see :mod:`repro.serving.replication`).
+    """
     try:
         backend_cls = SHARD_BACKENDS[name]
     except KeyError:
@@ -402,4 +499,15 @@ def make_shard_backend(
             f"unknown shard backend {name!r}; "
             f"expected one of {shard_backend_names()}"
         ) from None
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if replicas > 1:
+        from .replication import ReplicatedBackend
+
+        return ReplicatedBackend(
+            shards,
+            max_workers=max_workers,
+            replicas=replicas,
+            inner=name,
+        )
     return backend_cls(shards, max_workers=max_workers)

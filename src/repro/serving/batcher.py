@@ -27,7 +27,11 @@ from typing import Deque, List, Optional
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, SearchResponse
+from ..api.protocol import (
+    SearchRequest,
+    SearchResponse,
+    ensure_finite_queries,
+)
 
 _STOP = object()
 
@@ -140,8 +144,13 @@ class DynamicBatcher:
 
     def submit(self, query: np.ndarray) -> Future:
         """Enqueue one query; the future resolves to the scenario's
-        scalar result (``batch.row(i)``) once its micro-batch runs."""
+        scalar result (``batch.row(i)``) once its micro-batch runs.
+
+        Non-finite queries are rejected here, at the submitting
+        caller, so a poison query can never fail the innocent
+        neighbors that happen to share its micro-batch."""
         query = np.asarray(query, dtype=np.float64).reshape(-1)
+        ensure_finite_queries(query)
         future: Future = Future()
         with self._lock:
             if self._closed:

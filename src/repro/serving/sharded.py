@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..api.protocol import SearchRequest, execute_request
+from ..api.protocol import SearchRequest, ensure_finite_queries, execute_request
 from .backends import make_shard_backend
 
 
@@ -96,6 +96,15 @@ class ShardedIndex:
         ``"process"`` (persistent per-shard worker processes fed via
         ``save_index``/``load_index``).  Results are bitwise identical
         across backends.
+    replicas:
+        Workers per shard.  ``1`` (the default) runs the chosen
+        backend directly; ``> 1`` wraps it in a
+        :class:`~repro.serving.replication.ReplicatedBackend` — each
+        shard gets that many replicas of the chosen backend's worker
+        kind, with least-loaded routing, transparent in-request
+        failover, and a background supervisor respawning dead workers.
+        Results stay bitwise identical while any replica per shard is
+        healthy.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class ShardedIndex:
         global_ids: Optional[Sequence[np.ndarray]] = None,
         max_workers: Optional[int] = None,
         backend: str = "thread",
+        replicas: int = 1,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -145,8 +155,9 @@ class ShardedIndex:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
+        self._replicas = int(replicas)
         self._backend = make_shard_backend(
-            backend, self._shards, max_workers=max_workers
+            backend, self._shards, max_workers=max_workers, replicas=replicas
         )
 
     # ------------------------------------------------------------------
@@ -162,6 +173,7 @@ class ShardedIndex:
         row_arrays: Optional[Dict[str, np.ndarray]] = None,
         max_workers: Optional[int] = None,
         backend: str = "thread",
+        replicas: int = 1,
     ) -> "ShardedIndex":
         """Partition ``x`` and build one index per shard.
 
@@ -184,6 +196,7 @@ class ShardedIndex:
             global_ids=parts,
             max_workers=max_workers,
             backend=backend,
+            replicas=replicas,
         )
 
     # ------------------------------------------------------------------
@@ -224,20 +237,27 @@ class ShardedIndex:
         """The active shard-execution backend's name."""
         return self._backend.name
 
-    def set_backend(self, backend: str) -> None:
-        """Switch the fan-out backend (closing the current one).
+    @property
+    def replicas(self) -> int:
+        """Workers per shard (1 = unreplicated)."""
+        return self._replicas
 
-        Results are bitwise identical across backends, so this is a
-        pure wall-clock decision — e.g. load a saved index and flip a
-        thread fan-out to process workers without rebuilding.
-        """
-        if backend == self._backend.name:
-            return
+    def fleet_status(self) -> List[dict]:
+        """Per-replica introspection rows (shard, replica, liveness,
+        restarts, in-flight counts) from the active backend.  The
+        unreplicated backends report one always-alive row per shard."""
+        return self._backend.fleet_status()
+
+    def _swap_backend(self, backend: str, replicas: int) -> None:
         replacement = make_shard_backend(
-            backend, self._shards, max_workers=self._max_workers
+            backend,
+            self._shards,
+            max_workers=self._max_workers,
+            replicas=replicas,
         )
         self._backend.close()
         self._backend = replacement
+        self._replicas = int(replicas)
         spec = getattr(self, "spec", None)
         if spec is not None:
             # Keep the attached declarative spec truthful — it is what
@@ -246,9 +266,29 @@ class ShardedIndex:
             self.spec = dataclasses.replace(
                 spec,
                 sharding=dataclasses.replace(
-                    spec.sharding, backend=backend
+                    spec.sharding, backend=backend, replicas=int(replicas)
                 ),
             )
+
+    def set_backend(self, backend: str) -> None:
+        """Switch the fan-out backend (closing the current one).
+
+        Results are bitwise identical across backends, so this is a
+        pure wall-clock decision — e.g. load a saved index and flip a
+        thread fan-out to process workers without rebuilding.  The
+        replica count carries over.
+        """
+        if backend == self._backend.name:
+            return
+        self._swap_backend(backend, self._replicas)
+
+    def set_replicas(self, replicas: int) -> None:
+        """Resize the per-shard replica count (closing the current
+        backend's workers and spawning the new fleet lazily).  Results
+        are bitwise identical at any replica count."""
+        if int(replicas) == self._replicas:
+            return
+        self._swap_backend(self.backend, int(replicas))
 
     def close(self) -> None:
         """Shut the fan-out backend down (idempotent)."""
@@ -302,6 +342,7 @@ class ShardedIndex:
                 "filtered-scenario indexes"
             )
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ensure_finite_queries(queries)
         results = self._fan_out(queries, k, beam_width, kwargs)
         return self._merge(results, k)
 
@@ -313,10 +354,29 @@ class ShardedIndex:
         final ordering both break by concatenation position — lower
         shard index first, then within-shard rank — so the merge is
         deterministic and a single shard passes through bitwise.
+
+        A ``None`` entry means that shard produced no result (a
+        replicated backend lost every replica of it mid-request); its
+        candidate block is all padding (ids ``-1``, distances ``inf``),
+        so the request degrades to the surviving shards' union instead
+        of failing.
         """
+        live = [r for r in results if r is not None]
+        if not live:
+            raise RuntimeError(
+                "every shard failed to produce a result; no replicas "
+                "are healthy"
+            )
+        b_rows = live[0].ids.shape[0]
         id_blocks: List[np.ndarray] = []
         d_blocks: List[np.ndarray] = []
         for gids, result in zip(self._global_ids, results):
+            if result is None:
+                id_blocks.append(np.full((b_rows, k), -1, dtype=np.int64))
+                d_blocks.append(
+                    np.full((b_rows, k), np.inf, dtype=np.float64)
+                )
+                continue
             ids = result.ids[:, :k]
             dists = result.distances[:, :k]
             if ids.shape[1] < k:
@@ -357,11 +417,11 @@ class ShardedIndex:
             counts = (out_ids >= 0).sum(axis=1)
 
         merged = {"ids": out_ids, "distances": out_d, "counts": counts}
-        first = results[0]
+        first = live[0]
         for field in dataclasses.fields(type(first)):
             if field.name in merged:
                 continue
-            values = [getattr(r, field.name) for r in results]
+            values = [getattr(r, field.name) for r in live]
             if field.name == "beam_widths_used":
                 # The escalation each shard needed, not their sum.
                 merged[field.name] = np.maximum.reduce(values)
@@ -401,6 +461,15 @@ class ShardedIndex:
         shard index), then every shard ingests its sub-batch through
         its own lockstep ``insert_batch``.  Returns the global ids in
         input-row order.
+
+        If a shard's ``insert_batch`` raises mid-way, the router's
+        bookkeeping stays coherent with shard state: sub-batches that
+        already succeeded are fully recorded (id maps, owner map,
+        ``_next_global`` past their ids), the failed and not-yet-tried
+        sub-batches are not recorded at all, and the exception
+        propagates.  Global ids provisionally assigned to unrecorded
+        rows are simply never issued (the id space may gap, never
+        collide).
         """
         self._require_streaming()
         rows = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
@@ -415,10 +484,12 @@ class ShardedIndex:
             assignment[i] = s
             per_shard_rows[s].append(i)
             loads[s] += 1
+        # Provisional ids in input-row order; each becomes real — and
+        # advances _next_global past itself — only when its shard's
+        # sub-batch insert succeeds.
         global_ids = self._next_global + np.arange(
             rows.shape[0], dtype=np.int64
         )
-        self._next_global += rows.shape[0]
         owner = self._owner_map()
         for s, row_ids in enumerate(per_shard_rows):
             if not row_ids:
@@ -429,6 +500,9 @@ class ShardedIndex:
                 owner[int(g)] = (s, int(local))
             self._global_ids[s] = np.concatenate(
                 [self._global_ids[s], fresh]
+            )
+            self._next_global = max(
+                self._next_global, int(fresh.max()) + 1
             )
             self._backend.invalidate(s)
         return [int(g) for g in global_ids]

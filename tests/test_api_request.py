@@ -78,6 +78,20 @@ def test_request_rejects_bad_shapes_and_params():
         SearchRequest(queries=np.zeros(4), beam_width=0)
 
 
+def test_request_rejects_non_finite_queries():
+    # NaN distances poison every downstream comparison (the sharded
+    # merge's tie selection breaks with an opaque reshape error), so
+    # the typed boundary rejects them with a clear message.
+    bad = np.zeros((3, 4))
+    bad[1, 2] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        SearchRequest(queries=bad)
+    with pytest.raises(ValueError, match=r"row\(s\) \[1\]"):
+        SearchRequest(queries=bad)
+    with pytest.raises(ValueError, match="non-finite"):
+        SearchRequest(queries=np.array([0.0, np.inf, 1.0]))
+
+
 def test_request_rejects_scalar_queries():
     # A 0-dim scalar used to slip through, become a (1, 1) matrix via
     # atleast_2d, and fail much later with a confusing dim mismatch.

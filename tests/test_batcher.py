@@ -254,3 +254,22 @@ class TestErrorsAndValidation:
             DynamicBatcher(index, max_batch_size=0)
         with pytest.raises(ValueError):
             DynamicBatcher(index, max_wait_ms=-1.0)
+
+    def test_non_finite_query_rejected_at_submit(self, setup):
+        data, index = setup
+        # Rejection happens at submit, in the poisoned caller's frame —
+        # a NaN query must never reach a micro-batch where it would
+        # fail the innocent requests batched alongside it.
+        with DynamicBatcher(
+            index, max_batch_size=2, max_wait_ms=60_000
+        ) as batcher:
+            good_before = batcher.submit(data.queries[0])
+            with pytest.raises(ValueError, match="non-finite"):
+                batcher.submit(np.full_like(data.queries[1], np.nan))
+            good_after = batcher.submit(data.queries[1])
+            rows = [
+                f.result(timeout=30) for f in (good_before, good_after)
+            ]
+        for row, q in zip(rows, data.queries[:2]):
+            direct = index.search(q, k=10, beam_width=32)
+            np.testing.assert_array_equal(row.ids, direct.ids)

@@ -156,12 +156,14 @@ class TestThreadPoolSizing:
         assert backend._pool is None
 
     def test_single_cpu_default_skips_pool(self, setup, monkeypatch):
-        # max_workers=None on a single-CPU host resolves to 1: the old
-        # code still spun up a one-thread pool plus GC finalizer for
-        # zero overlap.
+        # max_workers=None on a single-usable-CPU host resolves to 1:
+        # the old code still spun up a one-thread pool plus GC
+        # finalizer for zero overlap.
         import repro.serving.backends as backends
 
-        monkeypatch.setattr(backends.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            backends.os, "sched_getaffinity", lambda pid: {0}
+        )
         data, quantizer = setup
         sharded = ShardedIndex.build(
             data.base, 3, lambda xs: build_memory(xs, quantizer)
@@ -174,7 +176,9 @@ class TestThreadPoolSizing:
     def test_multi_cpu_default_builds_pool(self, setup, monkeypatch):
         import repro.serving.backends as backends
 
-        monkeypatch.setattr(backends.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            backends.os, "sched_getaffinity", lambda pid: set(range(8))
+        )
         data, quantizer = setup
         sharded = ShardedIndex.build(
             data.base, 3, lambda xs: build_memory(xs, quantizer)
@@ -185,6 +189,28 @@ class TestThreadPoolSizing:
         assert backend._pool is not None
         sharded.close()
         assert backend._pool is None
+
+    def test_pool_width_uses_affinity_not_cpu_count(self, monkeypatch):
+        # An affinity-restricted container (cgroup quota, taskset) may
+        # report many cpu_count() cores while only a few are usable;
+        # the pool must size from the usable set or it oversubscribes.
+        import repro.serving.backends as backends
+
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            backends.os, "sched_getaffinity", lambda pid: {0, 1}
+        )
+        assert backends.usable_cpu_count() == 2
+
+    def test_usable_cpu_count_falls_back_without_affinity(
+        self, monkeypatch
+    ):
+        import repro.serving.backends as backends
+
+        # Simulate a platform without the syscall surface entirely.
+        monkeypatch.delattr(backends.os, "sched_getaffinity")
+        monkeypatch.setattr(backends.os, "cpu_count", lambda: 6)
+        assert backends.usable_cpu_count() == 6
 
 
 class TestProcessSmoke:
@@ -336,6 +362,123 @@ class TestStreamingWritePath:
         finally:
             thread.close()
             proc.close()
+
+
+class TestRemoteTracebacks:
+    """Worker-side errors carry the worker's formatted traceback.
+
+    ``raise payload`` alone would re-raise the unpickled exception with
+    a parent-side-only traceback — the actual failing worker frame
+    would be invisible.  The worker attaches ``traceback.format_exc()``
+    and the parent chains it as ``__cause__``, concurrent.futures
+    style.
+    """
+
+    def test_raise_worker_error_chains_remote_traceback(self):
+        from repro.serving.backends import (
+            _RemoteTraceback,
+            _raise_worker_error,
+        )
+
+        exc = ValueError("worker-side boom")
+        exc.remote_traceback = (
+            "Traceback (most recent call last):\n"
+            '  File "worker.py", line 1, in search\n'
+            "ValueError: worker-side boom\n"
+        )
+        with pytest.raises(ValueError, match="worker-side boom") as info:
+            _raise_worker_error(exc)
+        assert isinstance(info.value.__cause__, _RemoteTraceback)
+        assert "worker.py" in str(info.value.__cause__)
+
+    def test_raise_without_remote_traceback_still_raises(self):
+        from repro.serving.backends import _raise_worker_error
+
+        with pytest.raises(KeyError):
+            _raise_worker_error(KeyError("no tb attached"))
+
+    def test_send_error_attaches_traceback(self):
+        from repro.serving.backends import _send_error
+
+        sent = []
+
+        class Conn:
+            def send(self, payload):
+                sent.append(payload)
+
+        try:
+            raise ValueError("original failure")
+        except ValueError as exc:
+            _send_error(Conn(), exc)
+        status, payload = sent[0]
+        assert status == "error"
+        assert isinstance(payload, ValueError)
+        assert "original failure" in payload.remote_traceback
+        assert "Traceback" in payload.remote_traceback
+
+    def test_send_error_survives_unpicklable_and_closed_pipe(self):
+        from repro.serving.backends import _send_error
+
+        class UnpicklableError(Exception):
+            def __reduce__(self):
+                raise TypeError("cannot pickle me")
+
+        sent = []
+
+        class FirstSendFails:
+            """Simulates conn.send choking on the payload itself."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def send(self, payload):
+                self.calls += 1
+                if self.calls == 1:
+                    raise TypeError("cannot pickle me")
+                sent.append(payload)
+
+        try:
+            raise UnpicklableError("original failure")
+        except UnpicklableError as exc:
+            _send_error(FirstSendFails(), exc)
+        status, payload = sent[0]
+        assert status == "error"
+        # Degraded to a picklable stand-in that still carries the
+        # original repr and the worker traceback.
+        assert "original failure" in repr(payload)
+        assert "Traceback" in payload.remote_traceback
+
+        class ClosedPipe:
+            def send(self, payload):
+                raise BrokenPipeError("pipe closed")
+
+        # A fully closed pipe must not raise out of _send_error — that
+        # would mask the original exception in the worker loop.
+        try:
+            raise ValueError("original failure")
+        except ValueError as exc:
+            _send_error(ClosedPipe(), exc)
+
+    def test_process_search_error_includes_worker_frames(self, setup):
+        data, quantizer = setup
+        sharded = ShardedIndex.build(
+            data.base,
+            2,
+            lambda xs: build_memory(xs, quantizer),
+            backend="process",
+        )
+        try:
+            with pytest.raises(Exception) as info:
+                # Mis-dimensioned queries blow up inside the worker.
+                sharded.search_batch(
+                    data.queries[:, :-3], k=5, beam_width=16
+                )
+            cause = info.value.__cause__
+            assert cause is not None
+            assert "Traceback" in str(cause)
+            assert "search_batch" in str(cause)
+        finally:
+            sharded.close()
 
 
 @pytest.mark.slow

@@ -366,6 +366,86 @@ class TestStreamingRouting:
                 sharded.shards[shard]._vectors[local], data.base[g]
             )
 
+    def test_partial_insert_failure_keeps_bookkeeping_coherent(
+        self, setup
+    ):
+        """A shard failing mid-insert_batch must not desync the router.
+
+        Shard sub-batches that succeeded before the failure stay fully
+        recorded; the failed shard's rows are not recorded anywhere;
+        and a follow-up insert assigns fresh, collision-free ids.
+        """
+        data, sharded = self.fresh(setup, 3)
+        sharded.insert_batch(data.base[:6])  # balanced: 2 rows per shard
+
+        boom = RuntimeError("injected shard failure")
+        real_insert = sharded.shards[1].insert_batch
+
+        def failing_insert(rows):
+            raise boom
+
+        sharded._shards[1].insert_batch = failing_insert
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                sharded.insert_batch(data.base[6:12])
+        finally:
+            sharded._shards[1].insert_batch = real_insert
+
+        # Shard 0 ran before the failure and is recorded; shards 1/2
+        # never mutated (2 is after the failing shard in the loop).
+        sizes = sharded.shard_sizes()
+        assert sizes[1] == 2 and sizes[2] == 2
+        # Router maps exactly match shard contents: every recorded
+        # global id dereferences to the vector it was assigned for.
+        for gids in sharded._global_ids:
+            for g in gids:
+                shard, local = sharded._owner[int(g)]
+                assert len(sharded.shards[shard]._vectors) > local
+        recorded = {
+            int(g) for gids in sharded._global_ids for g in gids
+        }
+        assert sharded.num_vertices == sum(sizes)
+        # _next_global sits past every recorded id, so the next batch
+        # cannot collide with anything recorded.
+        assert sharded._next_global > max(recorded)
+        fresh = sharded.insert_batch(data.base[12:15])
+        assert not set(fresh) & recorded
+        result = sharded.search_batch(data.queries, k=5, beam_width=16)
+        assert (result.counts == 5).all()
+
+
+class TestNonFiniteQueryRejection:
+    """NaN/inf queries fail loudly at the boundary, not deep in the
+    merge's boundary-tie reshape (see ISSUE 6: a NaN candidate makes
+    ``pos.reshape(b, k)`` blow up with an opaque error)."""
+
+    def test_plain_index_rejects_nan(self, setup):
+        data, quantizer = setup
+        index = build_memory(data.base, quantizer)
+        bad = data.queries.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            index.search_batch(bad, k=5, beam_width=16)
+
+    def test_sharded_rejects_nan_and_inf(self, setup):
+        data, quantizer = setup
+        sharded = ShardedIndex.build(
+            data.base, 2, lambda xs: build_memory(xs, quantizer)
+        )
+        for poison in (np.nan, np.inf, -np.inf):
+            bad = data.queries.copy()
+            bad[1, 3] = poison
+            with pytest.raises(ValueError, match="non-finite"):
+                sharded.search_batch(bad, k=5, beam_width=16)
+        # The error names the offending row(s).
+        bad = data.queries.copy()
+        bad[2, 0] = np.nan
+        with pytest.raises(ValueError, match=r"row\(s\) \[2\]"):
+            sharded.search_batch(bad, k=5, beam_width=16)
+        # And the index still works after the rejection.
+        result = sharded.search_batch(data.queries, k=5, beam_width=16)
+        assert (result.counts == 5).all()
+
 
 class TestConstructionAndValidation:
     def test_partition_rows_contiguous(self):
