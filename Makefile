@@ -8,8 +8,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-batch test-build test-replication \
-	chaos-smoke bench-batch bench-build bench-serving smoke \
-	smoke-examples demo lint ci ci-full
+	chaos-smoke bench-batch bench-build bench-serving bench-kernel \
+	profile-kernel smoke smoke-examples demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -54,6 +54,17 @@ bench-build:
 bench-serving:
 	cd benchmarks && $(PYTHON) -m pytest bench_serving.py -q
 
+# Kernel hot path: new engine vs the vendored pre-overhaul kernel
+# (bitwise identity always; >= 1.3x QPS and >= 5x table-amortization
+# gates honor REPRO_SKIP_SPEEDUP_GATES).
+bench-kernel:
+	cd benchmarks && $(PYTHON) -m pytest bench_kernel.py -q
+
+# Per-round kernel stage breakdown (gather/score/rank/truncate) — the
+# only entry point that turns the profiling hooks on.
+profile-kernel:
+	cd benchmarks && $(PYTHON) profile_kernel.py
+
 # Static checks.  ruff ships via requirements-dev.txt (CI always has
 # it); when it is missing locally the target skips instead of failing
 # so `make ci` stays runnable in minimal environments.  The format
@@ -97,7 +108,7 @@ ci: lint test-fast chaos-smoke smoke-examples
 # re-runs it by name so a marker change can never silently drop it.)
 ci-full: lint test test-replication smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
-		bench_build.py bench_serving.py -q
+		bench_build.py bench_serving.py bench_kernel.py -q
 
 demo:
 	$(PYTHON) -m repro.cli demo --batch-size 64

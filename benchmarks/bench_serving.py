@@ -4,7 +4,10 @@ Serves an open-loop request stream (single-query submissions) through
 the dynamic batcher over the in-memory scenario and reports the
 QPS-vs-p99 trade-off as ``max_wait_ms`` varies, for the unsharded index
 and a sharded fan-out, plus a thread-vs-process shard-backend
-comparison on the CPU-bound memory scenario.  Every answer is bitwise
+comparison on the CPU-bound memory scenario and a cache-on vs
+cache-off pass over a repeated stream for the cross-request ADC table
+cache (QPS recorded, identity asserted — the cache's timing gate lives
+in bench_kernel.py).  Every answer is bitwise
 identical to a direct ``search`` call (batch composition and backend
 choice cannot change results), so the whole table is a pure
 latency/throughput trade.
@@ -47,10 +50,12 @@ from repro.eval import format_table
 from repro.eval.harness import (
     make_index,
     make_quantizer,
+    measure_serving,
     prepare,
     run_serving,
     serving_speedup,
 )
+from repro.quantization import TableCache
 from repro.serving import DynamicBatcher
 
 from common import (
@@ -74,6 +79,7 @@ SHARD_COUNTS = (1, 4)
 FANOUT_SHARDS = 4
 FANOUT_STREAM = 128
 FANOUT_REPEATS = 3
+CACHE_STREAM = 256
 CHAOS_SHARDS = 2
 CHAOS_REPLICAS = 2
 CHAOS_REQUESTS = 12
@@ -124,6 +130,52 @@ def run_fanout_comparison(prepared, quantizer):
         "thread_qps": thread_qps,
         "process_qps": process_qps,
         "speedup": process_qps / max(thread_qps, 1e-12),
+        "identical": identical,
+    }
+
+
+def run_cache_comparison(prepared, quantizer):
+    """Cross-request ADC table cache: serving QPS with the cache off
+    vs on, over a fully repeated request stream (the cache's best
+    case — production query streams repeat, benchmark streams tile).
+
+    The cache must be bitwise-invisible: direct answers before, between,
+    and after the two serving passes are asserted identical.  QPS is
+    recorded, not gated — at serving scale the table build is a modest
+    slice of a request, so the honest speedup here is small (the 5x
+    amortization gate on the raw table path lives in bench_kernel.py).
+    """
+    queries = prepared.dataset.queries
+    reps = int(np.ceil(CACHE_STREAM / len(queries)))
+    stream = np.tile(queries, (reps, 1))[:CACHE_STREAM]
+    index = make_index("memory", prepared, quantizer, seed=0)
+    expected = index.search_batch(queries, k=10, beam_width=32)
+
+    index.table_cache = None
+    off = measure_serving(index, stream, max_batch_size=MAX_BATCH,
+                          max_wait_ms=2.0)
+    off_answers = index.search_batch(queries, k=10, beam_width=32)
+
+    index.table_cache = TableCache()
+    index.search_batch(queries[:1], k=10, beam_width=32)  # warm cache path
+    on = measure_serving(index, stream, max_batch_size=MAX_BATCH,
+                         max_wait_ms=2.0)
+    on_answers = index.search_batch(queries, k=10, beam_width=32)
+    cache_stats = index.engine_status()["table_cache"]
+
+    identical = bool(
+        np.array_equal(off_answers.ids, expected.ids)
+        and np.array_equal(off_answers.distances, expected.distances)
+        and np.array_equal(on_answers.ids, expected.ids)
+        and np.array_equal(on_answers.distances, expected.distances)
+    )
+    return {
+        "stream_len": CACHE_STREAM,
+        "max_batch_size": MAX_BATCH,
+        "cache_off_qps": off.qps,
+        "cache_on_qps": on.qps,
+        "speedup": on.qps / max(off.qps, 1e-12),
+        "hit_rate": cache_stats["hit_rate"],
         "identical": identical,
     }
 
@@ -222,6 +274,7 @@ def run():
     )
 
     fanout = run_fanout_comparison(prepared, quantizer)
+    cache = run_cache_comparison(prepared, quantizer)
     chaos = run_chaos(prepared, quantizer)
 
     # Determinism check: served answers equal direct search answers.
@@ -233,12 +286,12 @@ def run():
         np.array_equal(row.ids, index.search(q, k=10, beam_width=32).ids)
         for row, q in zip(served, prepared.dataset.queries)
     )
-    return points, guard_speedup, fanout, chaos, identical
+    return points, guard_speedup, fanout, cache, chaos, identical
 
 
 def test_serving_throughput(benchmark):
-    points, guard_speedup, fanout, chaos, identical = benchmark.pedantic(
-        run, rounds=1, iterations=1
+    points, guard_speedup, fanout, cache, chaos, identical = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
     )
 
     blocks = []
@@ -277,6 +330,27 @@ def test_serving_throughput(benchmark):
         f"[fan-out] process vs thread backend: "
         f"{fmt(fanout['speedup'], 2)}x "
         f"({usable_cpus()} usable CPU(s))"
+    )
+    blocks.append(
+        format_table(
+            ["table cache", "max batch", "QPS", "hit rate"],
+            [
+                ["off", cache["max_batch_size"],
+                 fmt(cache["cache_off_qps"], 1), "-"],
+                ["on", cache["max_batch_size"],
+                 fmt(cache["cache_on_qps"], 1),
+                 fmt(cache["hit_rate"], 3)],
+            ],
+            title=(
+                f"Cross-request ADC table cache (sift, n={N_BASE}, "
+                f"repeated stream {cache['stream_len']})"
+            ),
+        )
+    )
+    blocks.append(
+        f"[table cache] cache-on vs cache-off serving: "
+        f"{fmt(cache['speedup'], 2)}x at "
+        f"{fmt(cache['hit_rate'] * 100, 1)}% hit rate"
     )
     blocks.append(
         f"[chaos] SIGKILL one of {chaos['shards']}x{chaos['replicas']} "
@@ -323,6 +397,15 @@ def test_serving_throughput(benchmark):
                 "gate_threshold": 1.5,
                 "gate_enforced": process_speedup_gate_enabled(),
             },
+            "table_cache": {
+                "stream_len": cache["stream_len"],
+                "max_batch_size": cache["max_batch_size"],
+                "cache_off_qps": round(cache["cache_off_qps"], 1),
+                "cache_on_qps": round(cache["cache_on_qps"], 1),
+                "cache_on_vs_off_speedup": round(cache["speedup"], 2),
+                "hit_rate": round(cache["hit_rate"], 4),
+                "bitwise_identical": cache["identical"],
+            },
             "chaos": chaos,
         },
     )
@@ -332,6 +415,10 @@ def test_serving_throughput(benchmark):
     assert identical, "served answers diverged from direct search"
     assert fanout["identical"], (
         "process-backend answers diverged from the thread backend"
+    )
+    assert cache["identical"], (
+        "table-cache-on answers diverged from cache-off answers "
+        "(the cache must be bitwise-invisible)"
     )
     # The chaos gate is correctness, not timing: it always runs.
     assert chaos["failed_requests"] == 0, (

@@ -1,0 +1,83 @@
+"""Per-round kernel stage profile on the memory scenario.
+
+Runs a B=32 batched query stream against the memory index with a
+:class:`repro.engine.KernelProfile` attached and prints where the hot
+path spends its time (neighbor gather, distance scoring, candidate
+re-rank, beam truncate).  The profiling hooks are off (``profile=None``,
+zero timer calls) in every other entry point — this driver is the one
+place that turns them on, so `make profile-kernel` is the supported way
+to answer "which kernel stage got slower?".
+
+Plain script, not a pytest bench: profiles are for humans reading a
+breakdown, not for gating.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import KernelProfile
+from repro.eval.harness import make_index, make_quantizer, prepare
+
+N_BASE = 2000
+N_QUERIES = 64
+BATCH_SIZE = 32
+PASSES = 8
+NUM_CHUNKS = 8
+NUM_CODEWORDS = 32
+BEAM = 32
+K = 10
+SEED = 0
+
+
+def main() -> int:
+    prepared = prepare(
+        "sift", "vamana", n_base=N_BASE, n_queries=N_QUERIES, seed=SEED
+    )
+    quantizer = make_quantizer(
+        "pq", prepared, NUM_CHUNKS, NUM_CODEWORDS, seed=SEED
+    )
+    index = make_index("memory", prepared, quantizer, seed=SEED)
+    queries = prepared.dataset.queries[:BATCH_SIZE]
+
+    # Warm pass: table cache, workspace pool, and numpy internals all
+    # reach steady state before the profiled stream.
+    index.search_batch(queries, k=K, beam_width=BEAM)
+
+    profile = KernelProfile()
+    index.kernel_profile = profile
+    start = time.perf_counter()
+    for _ in range(PASSES):
+        index.search_batch(queries, k=K, beam_width=BEAM)
+    elapsed = time.perf_counter() - start
+    index.kernel_profile = None
+
+    instrumented = sum(profile.seconds.values())
+    print(
+        f"memory scenario (sift, n={N_BASE}), batch {BATCH_SIZE}, "
+        f"beam {BEAM}, {PASSES} passes: "
+        f"{PASSES * BATCH_SIZE / max(elapsed, 1e-12):.1f} QPS"
+    )
+    print(profile.report())
+    outside_ms = (elapsed - instrumented) * 1e3
+    print(
+        f"  (outside stages: {outside_ms:.2f} ms — table build, "
+        "frontier selection, bookkeeping)"
+    )
+    status = index.engine_status()
+    cache = status["table_cache"]
+    pool = status["workspace_pool"]
+    print(
+        f"engine status: table cache {cache['hits']} hit(s) / "
+        f"{cache['misses']} miss(es), workspace pool "
+        f"{pool['reuses']} reuse(s) / {pool['created']} created"
+    )
+    hops = index.search_batch(queries, k=K, beam_width=BEAM).hops
+    print(f"mean hops {float(np.mean(hops)):.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

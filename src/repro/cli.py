@@ -183,6 +183,39 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_status_line(engine) -> str:
+    """One summary line of hot-path amortizer activity for ``serve``.
+
+    ``engine`` is an index's ``engine_status()``: a single dict, or a
+    list of per-shard rows for sharded indexes (aggregated here; rows
+    without the engine wiring are skipped).  Returns "" when there is
+    nothing to report — e.g. the process backend, whose searches run in
+    worker processes so the local counters stay at zero.
+    """
+    rows = engine if isinstance(engine, list) else [engine]
+    hits = misses = reuses = created = 0
+    for row in rows:
+        if not row:
+            continue
+        cache = row.get("table_cache")
+        if cache:
+            hits += cache["hits"]
+            misses += cache["misses"]
+        pool = row.get("workspace_pool")
+        if pool:
+            reuses += pool["reuses"]
+            created += pool["created"]
+    lookups = hits + misses
+    if not lookups and not created:
+        return ""
+    rate = hits / lookups if lookups else 0.0
+    return (
+        f"engine cache: table hit rate {rate:.1%} "
+        f"({hits}/{lookups} rows), workspace reuses "
+        f"{reuses}/{reuses + created}"
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .eval import format_table
     from .eval.harness import (
@@ -200,6 +233,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         batch_sizes = (
             (1,) if args.batch_size == 1 else (1, args.batch_size)
         )
+        status: dict = {}
         points = run_serving(
             dataset_name=args.dataset,
             n_base=args.n_base,
@@ -210,6 +244,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             replicas=args.replicas,
             graph_kind=args.graph,
             seed=args.seed,
+            status=status,
         )
         rows = [p.as_row() for p in points]
         print(
@@ -232,6 +267,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"batched serving speedup over per-query serving: "
                 f"{serving_speedup(points):.2f}x"
             )
+        line = _engine_status_line(status.get("engine"))
+        if line:
+            print(line)
         return 0
     if args.name == "build":
         points = run_build_throughput(

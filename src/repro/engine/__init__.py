@@ -27,15 +27,21 @@ from .kernel import (
     SearchResult,
     execute,
 )
-from .context import SearchContext
+from .context import RunStats, SearchContext
+from .profile import KernelProfile
+from .workspace import KernelWorkspace, WorkspacePool
 
 __all__ = [
     "BatchDistanceFn",
     "BatchSearchResult",
     "BeamStep",
     "DistanceFn",
+    "KernelProfile",
+    "KernelWorkspace",
+    "RunStats",
     "SearchContext",
     "SearchResult",
+    "WorkspacePool",
     "execute",
     "lockstep_apply",
 ]

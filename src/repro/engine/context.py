@@ -7,20 +7,53 @@ reweighting lives), and the glue that binds both to the lockstep
 kernel.  What remains in the index classes is pure policy: I/O
 accounting for the hybrid scenario, escalation for filtered search,
 tombstone compaction for streaming, exact reranking for disk.
+
+The context also owns the hot-path amortizers: an optional
+cross-request :class:`~repro.quantization.table_cache.TableCache`
+(keyed by the index's factory fingerprint) and a per-index
+:class:`~repro.engine.workspace.WorkspacePool` recycling kernel scratch
+buffers.  Both are bitwise-invisible; :class:`RunStats` reports their
+activity so indexes can surface hit/reuse counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from .kernel import BatchDistanceFn, BatchSearchResult
+from .profile import KernelProfile
+from .workspace import WorkspacePool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graphs.base import ProximityGraph
     from ..quantization.adc import BatchLookupTable
+    from ..quantization.table_cache import TableCache
+
+
+@dataclass
+class RunStats:
+    """Engine telemetry for one ``tables``/``run`` invocation.
+
+    ``table_hits`` is a per-table-row bool mask (``None`` until a
+    ``tables`` call fills it — all-False when no cache is wired);
+    ``workspace_reused`` records whether the kernel ran on a recycled
+    workspace.  The helpers render both as per-query int vectors for
+    the result-counter fields.
+    """
+
+    table_hits: Optional[np.ndarray] = None
+    workspace_reused: bool = False
+
+    def hits_vector(self, b: int) -> np.ndarray:
+        if self.table_hits is None:
+            return np.zeros(b, dtype=np.int64)
+        return self.table_hits.astype(np.int64)
+
+    def reuse_vector(self, b: int) -> np.ndarray:
+        return np.full(b, int(self.workspace_reused), dtype=np.int64)
 
 
 @dataclass
@@ -39,15 +72,43 @@ class SearchContext:
         ``queries (B, dim) -> BatchLookupTable`` — one broadcasted
         table build per batch; scenario policy (ADC vs SDC, dtype,
         learned reweighting) is baked into the factory.
+    table_cache:
+        Optional cross-request LRU of per-query table rows; requires
+        ``fingerprint``.
+    fingerprint:
+        Zero-arg callable identifying everything that shapes the
+        factory's output (codebook identity, dtype, mode, reweighting)
+        — the cache key's first component.
+    workspace_pool:
+        Recycled kernel scratch buffers, one pool per index.
     """
 
     graph: "ProximityGraph"
     codes: np.ndarray
     table_factory: Callable[[np.ndarray], "BatchLookupTable"]
+    table_cache: Optional["TableCache"] = None
+    fingerprint: Optional[Callable[[], Hashable]] = None
+    workspace_pool: WorkspacePool = field(default_factory=WorkspacePool)
 
-    def tables(self, queries: np.ndarray) -> "BatchLookupTable":
-        """Build the batch's ADC tables through the scenario factory."""
-        return self.table_factory(queries)
+    def tables(
+        self,
+        queries: np.ndarray,
+        stats: Optional[RunStats] = None,
+    ) -> "BatchLookupTable":
+        """Build (or cache-assemble) the batch's ADC tables."""
+        if self.table_cache is not None and self.fingerprint is not None:
+            tables, hit_mask = self.table_cache.get_batch(
+                self.fingerprint(), queries, self.table_factory
+            )
+            if stats is not None:
+                stats.table_hits = hit_mask
+            return tables
+        tables = self.table_factory(queries)
+        if stats is not None:
+            stats.table_hits = np.zeros(
+                tables.num_queries, dtype=bool
+            )
+        return tables
 
     def dist_fn(
         self,
@@ -81,16 +142,31 @@ class SearchContext:
         tables: Optional["BatchLookupTable"] = None,
         qmap: Optional[np.ndarray] = None,
         num_queries: Optional[int] = None,
+        stats: Optional[RunStats] = None,
+        profile: Optional[KernelProfile] = None,
     ) -> BatchSearchResult:
         """One lockstep routing pass for ``queries`` (or a subset).
 
         With ``qmap`` given, the kernel runs ``num_queries`` rows whose
-        tables are ``tables[qmap]`` — otherwise one row per query.
+        tables are ``tables[qmap]`` — otherwise one row per query.  The
+        kernel runs on a pooled workspace; ``stats`` (if given) records
+        whether it was recycled and how the table build fared.
         """
         if tables is None:
-            tables = self.tables(queries)
+            tables = self.tables(queries, stats=stats)
         if num_queries is None:
             num_queries = int(np.atleast_2d(queries).shape[0])
-        return self.graph.search_batch(
-            self.dist_fn(tables, qmap), beam_width, num_queries, k=k
-        )
+        ws = self.workspace_pool.acquire()
+        if stats is not None:
+            stats.workspace_reused = ws.reused
+        try:
+            return self.graph.search_batch(
+                self.dist_fn(tables, qmap),
+                beam_width,
+                num_queries,
+                k=k,
+                workspace=ws,
+                profile=profile,
+            )
+        finally:
+            self.workspace_pool.release(ws)

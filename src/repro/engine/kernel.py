@@ -27,6 +27,19 @@ Scenario policy is injected through two hooks:
     How many of a query's closest unvisited candidates are expanded per
     round — 1 for in-memory routing, DiskANN's ``io_width`` for the
     hybrid scenario's pipelined reads.
+
+Two performance levers are orthogonal to the trajectory and therefore
+bitwise-invisible:
+
+* when ``adjacency`` is a packed CSR structure (anything exposing a
+  ``gather(vertices) -> (flat, lens)`` method, see
+  :class:`repro.graphs.packed.PackedAdjacency`), the default expansion
+  gathers a whole round's neighbor lists in one fancy-index slice-concat
+  instead of a per-vertex Python loop;
+* a :class:`~repro.engine.workspace.KernelWorkspace` passed as
+  ``workspace=`` recycles the visited/seen bitsets and candidate
+  buffers across calls (results are always copied out, so reuse cannot
+  alias a caller's held arrays).
 """
 
 from __future__ import annotations
@@ -35,6 +48,17 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+from .profile import KernelProfile
+from .workspace import (
+    BIT_MASKS,
+    KernelWorkspace,
+    bitset_row_indices,
+    bitset_set,
+    bitset_set_dup,
+    bitset_test,
+    bitset_width,
+)
 
 DistanceFn = Callable[[np.ndarray], np.ndarray]
 """Maps an array of vertex ids to estimated distances to the query."""
@@ -84,10 +108,14 @@ class SearchResult:
     trace: Optional[List[BeamStep]] = field(default=None, repr=False)
 
     def top_k(self, k: int) -> "SearchResult":
-        """Restrict the result list to its first ``k`` entries."""
+        """Restrict the result list to its first ``k`` entries.
+
+        The sliced arrays are copied out, never views — a held result
+        must stay valid however the source buffers are reused.
+        """
         return SearchResult(
-            ids=self.ids[:k],
-            distances=self.distances[:k],
+            ids=self.ids[:k].copy(),
+            distances=self.distances[:k].copy(),
             hops=self.hops,
             distance_computations=self.distance_computations,
             visited_count=self.visited_count,
@@ -143,14 +171,20 @@ class BatchSearchResult:
         )
 
     def top_k(self, k: int) -> "BatchSearchResult":
-        """Restrict every row to its first ``k`` entries."""
+        """Restrict every row to its first ``k`` entries.
+
+        Copies the sliced columns out (no views into the kernel's
+        candidate buffers) and carries ``traces`` / ``visited_lists``
+        through unchanged — they are per-row diagnostics, not per-rank
+        lists, so ``k`` does not trim them.
+        """
         return BatchSearchResult(
-            ids=self.ids[:, :k],
-            distances=self.distances[:, :k],
+            ids=np.ascontiguousarray(self.ids[:, :k]),
+            distances=np.ascontiguousarray(self.distances[:, :k]),
             counts=np.minimum(self.counts, k),
-            hops=self.hops,
-            distance_computations=self.distance_computations,
-            visited_counts=self.visited_counts,
+            hops=self.hops.copy(),
+            distance_computations=self.distance_computations.copy(),
+            visited_counts=self.visited_counts.copy(),
             traces=self.traces,
             visited_lists=self.visited_lists,
         )
@@ -179,6 +213,8 @@ def execute(
     expansion_counts_distance: bool = False,
     record_trace: bool = False,
     collect_visited: bool = False,
+    workspace: Optional[KernelWorkspace] = None,
+    profile: Optional[KernelProfile] = None,
 ) -> BatchSearchResult:
     """Lockstep beam search for a whole query batch.
 
@@ -187,14 +223,16 @@ def execute(
     ``expand`` or direct adjacency reads), scores every fresh
     (query, vertex) pair in a single ``dist_fn`` call, and re-ranks all
     touched candidate rows with one stable ``argsort`` over a shared
-    padded buffer.  The visited/seen sets live in two shared ``(B, n)``
-    bit-buffers allocated once per call; the candidate buffer grows on
+    padded buffer.  The visited/seen sets live in two shared
+    ``(B, ceil(n/8))`` uint8 bitsets; the candidate buffer grows on
     demand, so no degree bound needs to be known up front.
 
     Parameters
     ----------
     adjacency:
-        Per-vertex neighbor id arrays (any indexable with ``len``).
+        Per-vertex neighbor id arrays (any indexable with ``len``).  A
+        packed CSR structure (``gather`` method) enables the vectorized
+        neighbor gather; results are bitwise identical either way.
     entries:
         ``(B,)`` entry vertex per query (HNSW's upper-layer descent
         yields per-query entries; flat graphs pass a constant).
@@ -221,6 +259,14 @@ def execute(
         Return each query's expanded-vertex set — the adjacency reads
         its trajectory depends on, which the speculative construction
         driver validates against graph mutations.
+    workspace:
+        A recycled :class:`~repro.engine.workspace.KernelWorkspace`; the
+        kernel sizes/zeros it and leaves release to the caller.  ``None``
+        uses a private fresh workspace.
+    profile:
+        A :class:`~repro.engine.profile.KernelProfile` accumulating
+        per-stage wall-clock time; ``None`` (default) adds zero timer
+        overhead.
     """
     if beam_width < 1:
         raise ValueError("beam_width must be >= 1")
@@ -236,15 +282,32 @@ def execute(
         return _empty_batch_result(out_w)
     if n == 0 or entries.min() < 0 or entries.max() >= n:
         raise ValueError(f"entry vertices out of range [0, {n})")
+    # Packed CSR fast path: one slice-concat per round instead of a
+    # per-vertex Python loop (only the default expansion reads
+    # adjacency; scenario hooks do their own reads).
+    gather = getattr(adjacency, "gather", None) if expand is None else None
 
     cap = beam_width + 1
     col = np.arange(cap)
 
-    # Shared per-batch workspaces (one allocation for all B queries).
-    visited = np.zeros((b, n), dtype=bool)
-    seen = np.zeros((b, n), dtype=bool)
-    cand_ids = np.zeros((b, cap), dtype=np.int64)
-    cand_d = np.full((b, cap), np.inf, dtype=np.float64)
+    # Shared per-batch workspaces (recycled across calls when the
+    # caller owns a pool; every returned array is copied out below).
+    ws = workspace if workspace is not None else KernelWorkspace()
+    ws.reset(b, n, cap)
+    width = bitset_width(n)
+    visited = ws.visited
+    seen = ws.seen
+    cand_ids = ws.cand_ids[:b, :cap]
+    cand_d = ws.cand_d[:b, :cap]
+    # Positional twin of the visited set, in candidate-buffer space:
+    # ``cand_vis[r, c]`` is True when slot ``c`` of row ``r`` holds an
+    # already-expanded vertex *or* padding.  Because ``seen`` keeps any
+    # vertex from occupying two slots, position-visited and id-visited
+    # are interchangeable — and the per-round frontier selection
+    # becomes one boolean invert instead of an n-sized bitset probe.
+    # The id-keyed ``visited`` bitset is only maintained when the
+    # caller asked for the expanded-vertex sets.
+    cand_vis = ws.cand_visited[:b, :cap]
     counts = np.ones(b, dtype=np.int64)
     hops = np.zeros(b, dtype=np.int64)
     dist_comps = np.ones(b, dtype=np.int64)
@@ -256,29 +319,42 @@ def execute(
     qidx = np.arange(b, dtype=np.int64)
     cand_ids[:, 0] = entries
     cand_d[:, 0] = np.asarray(dist_fn(qidx, entries), dtype=np.float64)
-    seen[qidx, entries] = True
+    cand_vis[:, 0] = False
+    bitset_set(seen, qidx, entries)
+    num_active = b
 
-    while active.any():
-        act = np.flatnonzero(active)
-        sub_ids = cand_ids[act]
-        valid = col[None, :] < counts[act][:, None]
-        unvisited = valid & ~visited[act[:, None], sub_ids]
+    while num_active:
+        if profile is not None:
+            profile.rounds += 1
+            t0 = profile.start()
+        # When every row is still active (the common steady state) the
+        # active-subset gathers collapse to aliasing views — no copies.
+        all_active = num_active == b
+        act = qidx if all_active else np.flatnonzero(active)
+        sub_ids = cand_ids if all_active else cand_ids[act]
+        unvisited = ~cand_vis if all_active else ~cand_vis[act]
         if frontier_width == 1:
             sel = None
-            has_work = unvisited.any(axis=1)
+            # argmax doubles as the any() scan: it lands on the first
+            # True, and re-reading that cell tells us whether one exists.
+            pos_all = unvisited.argmax(axis=1)
+            has_work = unvisited[qidx[: act.size], pos_all]
         else:
             sel = unvisited & (
                 np.cumsum(unvisited, axis=1) <= frontier_width
             )
             has_work = sel.any(axis=1)
-        active[act[~has_work]] = False
-        if not has_work.any():
-            break
         rows_local = np.flatnonzero(has_work)
+        if rows_local.size < act.size:
+            deact = act[~has_work]
+            active[deact] = False
+            num_active -= deact.size
+            if not rows_local.size:
+                break
         rows = act[rows_local]
 
         if frontier_width == 1:
-            pos = unvisited[rows_local].argmax(axis=1)
+            pos = pos_all[rows_local]
             v_star = sub_ids[rows_local, pos]
             if record_trace:
                 assert traces is not None
@@ -291,35 +367,44 @@ def execute(
                             candidate_distances=cand_d[r, :c].copy(),
                         )
                     )
-            visited[rows, v_star] = True
+            cand_vis[rows, pos] = True
+            if collect_visited:
+                bitset_set(visited, rows, v_star)
             hops[rows] += 1
             if expansion_counts_distance:
                 dist_comps[rows] += 1
-            if expand is None:
-                nbr_lists = [
-                    np.asarray(adjacency[int(v)], dtype=np.int64)
-                    for v in v_star
-                ]
+            if gather is not None:
+                flat_nbrs, lens = gather(v_star)
+                if not flat_nbrs.size:
+                    continue
             else:
-                frontiers = [
-                    np.array([v], dtype=np.int64) for v in v_star
-                ]
-                nbr_lists = expand(rows, frontiers)
+                if expand is None:
+                    nbr_lists = [
+                        np.asarray(adjacency[int(v)], dtype=np.int64)
+                        for v in v_star
+                    ]
+                else:
+                    frontiers = [
+                        np.array([v], dtype=np.int64) for v in v_star
+                    ]
+                    nbr_lists = expand(rows, frontiers)
+                lens = np.array(
+                    [nb.size for nb in nbr_lists], dtype=np.int64
+                )
+                if not lens.any():
+                    continue
+                flat_nbrs = np.concatenate(nbr_lists).astype(
+                    np.int64, copy=False
+                )
             # Freshness is independent across rows (one vertex each),
             # so one vectorized pass covers the whole round.
-            lens = np.array([nb.size for nb in nbr_lists], dtype=np.int64)
-            if not lens.any():
-                continue
-            flat_nbrs = np.concatenate(nbr_lists).astype(
-                np.int64, copy=False
-            )
             flat_q = np.repeat(rows, lens)
-            fresh_mask = ~seen[flat_q, flat_nbrs]
+            fresh_mask = bitset_test(seen, flat_q, flat_nbrs) == 0
             fq = flat_q[fresh_mask]
             fv = flat_nbrs[fresh_mask]
             if not fq.size:
                 continue
-            seen[fq, fv] = True
+            bitset_set_dup(seen, fq, fv)
         else:
             frontiers = [
                 sub_ids[rl][sel[rl]] for rl in rows_local
@@ -328,7 +413,10 @@ def execute(
             flat_r = np.repeat(
                 rows, [f.size for f in frontiers]
             )
-            visited[flat_r, flat_f] = True
+            sel_r, sel_c = sel.nonzero()
+            cand_vis[act[sel_r], sel_c] = True
+            if collect_visited:
+                bitset_set_dup(visited, flat_r, flat_f)
             round_hops = np.bincount(flat_r, minlength=b)
             hops += round_hops
             if expansion_counts_distance:
@@ -348,64 +436,95 @@ def execute(
             for r, neighbors in zip(flat_r, nbr_lists):
                 if not neighbors.size:
                     continue
-                fresh = neighbors[~seen[r, neighbors]]
+                neighbors = np.asarray(neighbors, dtype=np.int64)
+                row_bits = seen[r]
+                fresh = neighbors[
+                    (
+                        row_bits[neighbors >> 3]
+                        >> (neighbors & 7).astype(np.uint8)
+                    )
+                    & 1
+                    == 0
+                ]
                 if fresh.size:
-                    seen[r, fresh] = True
+                    np.bitwise_or.at(
+                        row_bits, fresh >> 3, BIT_MASKS[fresh & 7]
+                    )
                     fq_parts.append(np.full(fresh.size, r, dtype=np.int64))
-                    fv_parts.append(fresh.astype(np.int64, copy=False))
+                    fv_parts.append(fresh)
             if not fq_parts:
                 continue
             fq = np.concatenate(fq_parts)
             fv = np.concatenate(fv_parts)
 
+        if profile is not None:
+            t0 = profile.add("gather", t0)
         fd = np.asarray(dist_fn(fq, fv), dtype=np.float64)
         fresh_counts = np.bincount(fq, minlength=b)
         dist_comps += fresh_counts
+        if profile is not None:
+            t0 = profile.add("score", t0)
 
         # Append each query's fresh candidates after its current tail,
         # preserving adjacency order (ties then break as in a scalar
         # candidate list's extend), growing the buffer when a round
         # delivers more neighbors than it currently fits.
-        within = np.arange(fq.size) - np.searchsorted(fq, fq, side="left")
+        within = ws.iota(fq.size) - np.searchsorted(fq, fq, side="left")
         dest = counts[fq] + within
         need = int(dest.max()) + 1
         if need > cap:
-            grow = max(need, 2 * cap) - cap
-            cand_ids = np.pad(cand_ids, ((0, 0), (0, grow)))
-            cand_d = np.pad(
-                cand_d, ((0, 0), (0, grow)), constant_values=np.inf
-            )
-            cap += grow
+            new_cap = max(need, 2 * cap)
+            ws.grow_candidates(b, cap, new_cap)
+            cap = new_cap
+            cand_ids = ws.cand_ids[:b, :cap]
+            cand_d = ws.cand_d[:b, :cap]
+            cand_vis = ws.cand_visited[:b, :cap]
             col = np.arange(cap)
         cand_ids[fq, dest] = fv
         cand_d[fq, dest] = fd
+        cand_vis[fq, dest] = False
         counts += fresh_counts
 
         # Re-rank and truncate only the rows that gained candidates
         # (fq is sorted, so its boundaries give them directly), and
         # only over the occupied prefix — everything past it is
         # inf-padding that a stable sort would keep in place anyway.
-        touched = fq[np.concatenate(([True], fq[1:] != fq[:-1]))]
+        # Truncation masks the *sorted temporaries* before the single
+        # scatter back, so each round pays one gather and one scatter
+        # per buffer rather than two of each.
+        head = np.empty(fq.size, dtype=bool)
+        head[0] = True
+        np.not_equal(fq[1:], fq[:-1], out=head[1:])
+        touched = fq[head]
         upto = int(counts[touched].max())
-        trow = touched[:, None]
-        sub_d = cand_d[trow, col[None, :upto]]
+        # Row-fancy-plus-slice gathers/scatters compile to per-row
+        # memcpys — several times cheaper than elementwise 2-D fancy
+        # indexing — and one shared flat permutation index applies the
+        # sort to all three buffers.
+        sub_d = cand_d[touched, :upto]
         order = np.argsort(sub_d, axis=1, kind="stable")
-        srow = np.arange(touched.size)[:, None]
-        cand_d[trow, col[None, :upto]] = sub_d[srow, order]
-        cand_ids[trow, col[None, :upto]] = cand_ids[
-            trow, col[None, :upto]
-        ][srow, order]
-        new_counts = np.minimum(counts[touched], beam_width)
-        counts[touched] = new_counts
-        dropped_cols = col[None, :upto] >= new_counts[:, None]
-        if dropped_cols.any():
-            sub_d = cand_d[trow, col[None, :upto]]
-            sub_i = cand_ids[trow, col[None, :upto]]
-            sub_d[dropped_cols] = np.inf
-            sub_i[dropped_cols] = 0
-            cand_d[trow, col[None, :upto]] = sub_d
-            cand_ids[trow, col[None, :upto]] = sub_i
+        flat_o = order + ws.iota(touched.size)[:, None] * upto
+        sorted_d = sub_d.reshape(-1)[flat_o]
+        sorted_i = cand_ids[touched, :upto].reshape(-1)[flat_o]
+        sorted_v = cand_vis[touched, :upto].reshape(-1)[flat_o]
+        if profile is not None:
+            t0 = profile.add("rank", t0)
+        if upto > beam_width:
+            new_counts = np.minimum(counts[touched], beam_width)
+            counts[touched] = new_counts
+            dropped_cols = col[None, :upto] >= new_counts[:, None]
+            sorted_d[dropped_cols] = np.inf
+            sorted_i[dropped_cols] = 0
+            # Dropped slots revert to padding, which selection skips.
+            sorted_v[dropped_cols] = True
+        cand_d[touched, :upto] = sorted_d
+        cand_ids[touched, :upto] = sorted_i
+        cand_vis[touched, :upto] = sorted_v
+        if profile is not None:
+            profile.add("truncate", t0)
 
+    if profile is not None:
+        profile.calls += 1
     take = np.minimum(counts, out_w)
     keep = col[None, :out_w] < take[:, None]
     ids_out = np.full((b, out_w), -1, dtype=np.int64)
@@ -421,7 +540,7 @@ def execute(
         visited_counts=hops.copy(),
         traces=traces,
         visited_lists=(
-            [np.flatnonzero(visited[i]) for i in range(b)]
+            [bitset_row_indices(visited[i, :width], n) for i in range(b)]
             if collect_visited
             else None
         ),

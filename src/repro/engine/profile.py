@@ -1,0 +1,57 @@
+"""Per-round kernel profiling hooks.
+
+A :class:`KernelProfile` passed to ``execute(profile=...)`` accumulates
+wall-clock time per kernel stage (neighbor gather, distance scoring,
+candidate re-rank, beam truncate) across rounds.  The default is
+``None`` — no timer calls on the hot path — so profiling costs nothing
+unless explicitly requested (``make profile-kernel``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: The instrumented kernel stages, in round order.
+STAGES = ("gather", "score", "rank", "truncate")
+
+
+@dataclass
+class KernelProfile:
+    """Cumulative seconds per kernel stage plus round/call counts."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {s: 0.0 for s in STAGES}
+    )
+    rounds: int = 0
+    calls: int = 0
+
+    def start(self) -> float:
+        return time.perf_counter()
+
+    def add(self, stage: str, since: float) -> float:
+        """Charge elapsed time to ``stage``; returns a fresh timestamp."""
+        now = time.perf_counter()
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + (now - since)
+        return now
+
+    def merge(self, other: "KernelProfile") -> None:
+        for stage, secs in other.seconds.items():
+            self.seconds[stage] = self.seconds.get(stage, 0.0) + secs
+        self.rounds += other.rounds
+        self.calls += other.calls
+
+    def report(self) -> str:
+        total = sum(self.seconds.values())
+        lines = [
+            f"kernel profile: {self.calls} call(s), {self.rounds} round(s), "
+            f"{total * 1e3:.2f} ms in instrumented stages"
+        ]
+        for stage in sorted(self.seconds, key=self.seconds.get, reverse=True):
+            secs = self.seconds[stage]
+            share = secs / total if total else 0.0
+            lines.append(
+                f"  {stage:<10} {secs * 1e3:9.2f} ms  ({share:5.1%})"
+            )
+        return "\n".join(lines)

@@ -626,6 +626,7 @@ def run_serving(
     graph_kind: str = "vamana",
     seed: int = 0,
     prepared: Optional[Prepared] = None,
+    status: Optional[dict] = None,
 ) -> List[ServingPoint]:
     """QPS-vs-latency trade-off of the dynamic-batching serving layer.
 
@@ -641,6 +642,12 @@ def run_serving(
     state shipping) stays out of the measured stream.  Pass ``prepared`` to reuse an
     existing dataset/graph/ground-truth bundle (graph builds dominate
     setup time) instead of re-preparing from the dataset parameters.
+
+    Pass a dict as ``status`` to receive the served index's
+    ``engine_status()`` (cross-request table-cache and workspace-pool
+    counters) under ``status["engine"]`` once the stream has drained —
+    a list of per-shard rows for sharded indexes, a single dict
+    otherwise.
     """
     if prepared is None:
         prepared = prepare(
@@ -686,6 +693,11 @@ def run_serving(
                     num_shards=num_shards,
                 )
             )
+    if status is not None:
+        engine_status = getattr(index, "engine_status", None)
+        status["engine"] = (
+            engine_status() if engine_status is not None else None
+        )
     return points
 
 

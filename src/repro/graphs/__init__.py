@@ -7,7 +7,8 @@
   shared lockstep kernel (:mod:`repro.engine.kernel`; the scalar call
   is the ``B=1`` case); :class:`SearchResult`,
   :class:`BatchSearchResult`, :class:`BeamStep`.
-* :class:`ProximityGraph` — shared container (paper Def. 2).
+* :class:`ProximityGraph` — shared container (paper Def. 2);
+  :class:`PackedAdjacency` — its CSR view the kernel routes over.
 * :func:`exact_knn` — blocked brute-force kNN.
 * :func:`save_graph` / :func:`load_graph` — exact on-disk round trip
   of built graphs (flat and HNSW), used by :mod:`repro.api`'s index
@@ -30,10 +31,12 @@ from .beam import (
 from .hnsw import HNSW, build_hnsw
 from .knn_graph import exact_knn, knn_graph_adjacency
 from .nsg import build_nsg
+from .packed import PackedAdjacency
 from .serialization import load_graph, save_graph
 from .vamana import build_vamana, robust_prune
 
 __all__ = [
+    "PackedAdjacency",
     "ProximityGraph",
     "medoid",
     "beam_search",

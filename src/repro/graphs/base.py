@@ -13,6 +13,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine.profile import KernelProfile
+from ..engine.workspace import KernelWorkspace
 from .beam import (
     BatchDistanceFn,
     BatchSearchResult,
@@ -21,6 +23,7 @@ from .beam import (
     beam_search,
     beam_search_batch,
 )
+from .packed import PackedAdjacency
 
 
 @dataclass
@@ -36,6 +39,7 @@ class ProximityGraph:
         self.adjacency = [
             np.asarray(nbrs, dtype=np.int64) for nbrs in self.adjacency
         ]
+        self._packed: Optional[PackedAdjacency] = None
         n = len(self.adjacency)
         if not 0 <= self.entry_point < max(n, 1):
             raise ValueError(
@@ -44,6 +48,30 @@ class ProximityGraph:
         for v, nbrs in enumerate(self.adjacency):
             if nbrs.size and (nbrs.min() < 0 or nbrs.max() >= n):
                 raise ValueError(f"vertex {v} has out-of-range neighbors")
+
+    # ------------------------------------------------------------------
+    def packed(self) -> PackedAdjacency:
+        """The CSR view the search kernel routes over (built lazily,
+        cached until :meth:`invalidate_packed`)."""
+        packed = getattr(self, "_packed", None)
+        if packed is None:
+            packed = PackedAdjacency.from_lists(self.adjacency)
+            self._packed = packed
+        return packed
+
+    def attach_packed(self, packed: PackedAdjacency) -> None:
+        """Adopt an externally built CSR view (deserialization hands the
+        stored flat arrays over without a repack)."""
+        if len(packed) != len(self.adjacency):
+            raise ValueError(
+                f"packed adjacency covers {len(packed)} vertices, graph "
+                f"has {len(self.adjacency)}"
+            )
+        self._packed = packed
+
+    def invalidate_packed(self) -> None:
+        """Drop the CSR cache after mutating ``adjacency`` in place."""
+        self._packed = None
 
     # ------------------------------------------------------------------
     @property
@@ -112,7 +140,7 @@ class ProximityGraph:
         """Beam-search routing with an arbitrary distance estimator."""
         start = self.entry_point if entry is None else entry
         return beam_search(
-            self.adjacency,
+            self.packed(),
             start,
             dist_fn,
             beam_width,
@@ -128,6 +156,8 @@ class ProximityGraph:
         k: Optional[int] = None,
         entries: Optional[np.ndarray] = None,
         collect_visited: bool = False,
+        workspace: Optional[KernelWorkspace] = None,
+        profile: Optional[KernelProfile] = None,
     ) -> BatchSearchResult:
         """Lockstep beam-search routing for ``num_queries`` queries.
 
@@ -135,6 +165,8 @@ class ProximityGraph:
         every query starts at ``entry_point`` unless per-query
         ``entries`` are given.  Row ``b`` of the result is bitwise
         identical to :meth:`search` with the matching scalar callback.
+        Routing reads the packed CSR view of the adjacency (same
+        trajectory, vectorized neighbor gather).
         """
         if entries is None:
             entries = np.full(num_queries, self.entry_point, dtype=np.int64)
@@ -146,12 +178,14 @@ class ProximityGraph:
                     f"{num_queries} queries"
                 )
         return beam_search_batch(
-            self.adjacency,
+            self.packed(),
             entries,
             dist_fn,
             beam_width,
             k=k,
             collect_visited=collect_visited,
+            workspace=workspace,
+            profile=profile,
         )
 
     def n_hop_neighborhood(self, vertex: int, hops: int) -> np.ndarray:

@@ -23,6 +23,8 @@ from ..engine.kernel import (
     SearchResult,
     execute,
 )
+from ..engine.profile import KernelProfile
+from ..engine.workspace import KernelWorkspace
 
 __all__ = [
     "BatchDistanceFn",
@@ -101,12 +103,15 @@ def beam_search_batch(
     beam_width: int,
     k: Optional[int] = None,
     collect_visited: bool = False,
+    workspace: Optional[KernelWorkspace] = None,
+    profile: Optional[KernelProfile] = None,
 ) -> BatchSearchResult:
     """Lockstep beam search for a whole query batch.
 
     Direct entry into :func:`repro.engine.kernel.execute`; row ``b`` is
     bitwise identical to :func:`beam_search` with the matching scalar
-    distance callback.
+    distance callback.  ``workspace``/``profile`` pass straight through
+    to the kernel (recycled scratch buffers / stage timers).
     """
     return execute(
         adjacency,
@@ -115,6 +120,8 @@ def beam_search_batch(
         beam_width,
         k=k,
         collect_visited=collect_visited,
+        workspace=workspace,
+        profile=profile,
     )
 
 

@@ -86,7 +86,7 @@ class HNSW(ProximityGraph):
             adjacency = _LayerView(layer, self.num_vertices)
             start = greedy_search(adjacency, start, dist_fn)
         return beam_search(
-            self.adjacency,
+            self.packed(),
             start,
             dist_fn,
             beam_width,
@@ -102,6 +102,8 @@ class HNSW(ProximityGraph):
         k: Optional[int] = None,
         entries: Optional[np.ndarray] = None,
         collect_visited: bool = False,
+        workspace=None,
+        profile=None,
     ) -> "BatchSearchResult":
         """Per-query upper-layer descent, then one lockstep base beam.
 
@@ -127,12 +129,14 @@ class HNSW(ProximityGraph):
                 start = greedy_search(adjacency, start, per_query)
             starts[qi] = start
         return beam_search_batch(
-            self.adjacency,
+            self.packed(),
             starts,
             dist_fn,
             beam_width,
             k=k,
             collect_visited=collect_visited,
+            workspace=workspace,
+            profile=profile,
         )
 
 
@@ -405,6 +409,7 @@ def build_hnsw(
         max_level=max_level,
         build_stats={"m": m, "ef_construction": ef_construction},
     )
+    graph.packed()  # prewarm the CSR view the search kernel routes over
     return graph
 
 

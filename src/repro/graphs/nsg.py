@@ -152,12 +152,14 @@ def build_nsg(
     _inter_insert(x, adjacency, r)
     _ensure_reachable(x, adjacency, navigating, search_l)
 
-    return ProximityGraph(
+    graph = ProximityGraph(
         adjacency=[np.array(nbrs, dtype=np.int64) for nbrs in adjacency],
         entry_point=navigating,
         name="nsg",
         build_stats={"knn_k": knn_k, "r": r, "search_l": search_l},
     )
+    graph.packed()  # prewarm the CSR view the search kernel routes over
+    return graph
 
 
 def _inter_insert(x: np.ndarray, adjacency: List[List[int]], r: int) -> None:

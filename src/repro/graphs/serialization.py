@@ -11,6 +11,11 @@ Round-trip guarantee: adjacency arrays, entry point, and upper layers
 come back exactly (int64 for int64), so a search over a loaded graph is
 bitwise identical to one over the original.  ``build_stats`` is
 ephemeral build telemetry and is intentionally not persisted.
+
+The ``(degrees, flat)`` ragged pair is exactly the kernel's packed CSR
+layout (two flat int64 arrays — the mmap-friendly shape), so saving
+reads the graph's packed view straight out and loading attaches it
+without a repack.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import numpy as np
 
 from .base import ProximityGraph
 from .hnsw import HNSW
+from .packed import PackedAdjacency
 
 GRAPH_FORMAT_VERSION = 1
 
@@ -51,7 +57,8 @@ def _unpack_ragged(degrees: np.ndarray, flat: np.ndarray) -> List[np.ndarray]:
 
 def save_graph(graph: ProximityGraph, path: Union[str, os.PathLike]) -> None:
     """Serialize a built graph (flat or HNSW) to ``path`` (``.npz``)."""
-    degrees, flat = _pack_ragged(graph.adjacency)
+    packed = graph.packed()
+    degrees, flat = packed.degrees(), packed.neighbors
     payload = {
         "format_version": np.array(GRAPH_FORMAT_VERSION),
         "kind": np.array("hnsw" if isinstance(graph, HNSW) else "pg"),
@@ -82,13 +89,20 @@ def load_graph(path: Union[str, os.PathLike]) -> ProximityGraph:
                 f"this build reads up to {GRAPH_FORMAT_VERSION}"
             )
         kind = str(data["kind"])
-        adjacency = _unpack_ragged(data["degrees"], data["flat"])
+        degrees = data["degrees"].astype(np.int64, copy=False)
+        flat = data["flat"].astype(np.int64, copy=False)
+        adjacency = _unpack_ragged(degrees, flat)
+        offsets = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=offsets[1:])
+        packed = PackedAdjacency(neighbors=flat, offsets=offsets)
         entry = int(data["entry_point"])
         name = str(data["name"])
         if kind == "pg":
-            return ProximityGraph(
+            graph = ProximityGraph(
                 adjacency=adjacency, entry_point=entry, name=name
             )
+            graph.attach_packed(packed)
+            return graph
         if kind == "hnsw":
             upper_layers = []
             for i in range(int(data["num_layers"])):
@@ -99,11 +113,13 @@ def load_graph(path: Union[str, os.PathLike]) -> ProximityGraph:
                 upper_layers.append(
                     {int(v): nbrs for v, nbrs in zip(vertices, neighbor_lists)}
                 )
-            return HNSW(
+            graph = HNSW(
                 adjacency=adjacency,
                 entry_point=entry,
                 name=name,
                 upper_layers=upper_layers,
                 max_level=int(data["max_level"]),
             )
+            graph.attach_packed(packed)
+            return graph
     raise ValueError(f"unknown graph kind {kind!r} in {path}")

@@ -172,9 +172,11 @@ def build_vamana(
 
         lockstep_apply(n, batch_search, is_valid, apply, build_batch_size)
 
-    return ProximityGraph(
+    graph = ProximityGraph(
         adjacency=[np.array(nbrs, dtype=np.int64) for nbrs in adjacency],
         entry_point=entry,
         name="vamana",
         build_stats={"r": r, "search_l": search_l, "alpha": alpha},
     )
+    graph.packed()  # prewarm the CSR view the search kernel routes over
+    return graph

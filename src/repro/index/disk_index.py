@@ -28,8 +28,9 @@ from ..api.protocol import (
     ensure_finite_queries,
     execute_request,
 )
-from ..engine import SearchContext, execute
+from ..engine import KernelProfile, RunStats, SearchContext, execute
 from ..graphs.base import ProximityGraph
+from ..quantization import TableCache
 from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
 from .ssd import SimulatedSSD, SSDConfig
@@ -46,6 +47,8 @@ class DiskSearchResult:
     page_reads: int
     simulated_io_us: float
     distance_computations: int
+    table_cache_hit: int = 0
+    workspace_reused: int = 0
 
 
 @dataclass
@@ -65,6 +68,15 @@ class DiskBatchResult:
     page_reads: np.ndarray
     simulated_io_us: np.ndarray
     distance_computations: np.ndarray
+    table_cache_hits: Optional[np.ndarray] = None
+    workspace_reused: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        b = self.ids.shape[0]
+        if self.table_cache_hits is None:
+            self.table_cache_hits = np.zeros(b, dtype=np.int64)
+        if self.workspace_reused is None:
+            self.workspace_reused = np.zeros(b, dtype=np.int64)
 
     @property
     def num_queries(self) -> int:
@@ -97,6 +109,8 @@ class DiskBatchResult:
             page_reads=int(self.page_reads[i]),
             simulated_io_us=float(self.simulated_io_us[i]),
             distance_computations=int(self.distance_computations[i]),
+            table_cache_hit=int(self.table_cache_hits[i]),
+            workspace_reused=int(self.workspace_reused[i]),
         )
 
 
@@ -206,9 +220,45 @@ class DiskIndex:
         self.table_transform = table_transform
         self.table_transform_batch = table_transform_batch
         self.dim = x.shape[1]
+        self._init_engine(graph)
+
+    def _init_engine(self, graph: ProximityGraph) -> None:
+        """Bind the context with its cross-request amortizers (table
+        cache + workspace pool); shared by both construction paths."""
+        self._fp_token = object()
+        self.kernel_profile: Optional[KernelProfile] = None
         self.context = SearchContext(
-            graph=graph, codes=self.codes, table_factory=self._build_tables
+            graph=graph,
+            codes=self.codes,
+            table_factory=self._build_tables,
+            table_cache=TableCache(),
+            fingerprint=self._table_fingerprint,
         )
+
+    def _table_fingerprint(self):
+        """Everything that shapes a table row: the frozen quantizer and
+        the optional routing transforms."""
+        return (
+            self._fp_token,
+            id(self.quantizer),
+            id(self.table_transform),
+            id(self.table_transform_batch),
+        )
+
+    def invalidate_table_cache(self) -> None:
+        """Drop cached tables; call after mutating the quantizer or
+        swapping the table transforms in place."""
+        self._fp_token = object()
+        if self.context.table_cache is not None:
+            self.context.table_cache.clear()
+
+    def engine_status(self) -> dict:
+        """Hot-path amortizer introspection (cache + workspace pool)."""
+        cache = self.context.table_cache
+        return {
+            "table_cache": cache.stats() if cache is not None else None,
+            "workspace_pool": self.context.workspace_pool.stats(),
+        }
 
     # ------------------------------------------------------------------
     def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
@@ -254,9 +304,7 @@ class DiskIndex:
         self.table_transform = table_transform
         self.table_transform_batch = table_transform_batch
         self.dim = np.asarray(vectors).shape[1]
-        self.context = SearchContext(
-            graph=graph, codes=self.codes, table_factory=self._build_tables
-        )
+        self._init_engine(graph)
         return self
 
     # ------------------------------------------------------------------
@@ -310,18 +358,27 @@ class DiskIndex:
                 simulated_io_us=np.empty(0, dtype=np.float64),
                 distance_computations=np.empty(0, dtype=np.int64),
             )
-        tables = self.context.tables(queries)
+        stats = RunStats()
+        tables = self.context.tables(queries, stats=stats)
         self.ssd.reset_counters()
         policy = _SSDExpansion(self.ssd, queries, b)
-        result = execute(
-            self.graph.adjacency,
-            np.full(b, self.graph.entry_point, dtype=np.int64),
-            self.context.dist_fn(tables),
-            beam_width,
-            frontier_width=self.io_width,
-            expand=policy,
-            expansion_counts_distance=True,
-        )
+        pool = self.context.workspace_pool
+        ws = pool.acquire()
+        stats.workspace_reused = ws.reused
+        try:
+            result = execute(
+                self.graph.adjacency,
+                np.full(b, self.graph.entry_point, dtype=np.int64),
+                self.context.dist_fn(tables),
+                beam_width,
+                frontier_width=self.io_width,
+                expand=policy,
+                expansion_counts_distance=True,
+                workspace=ws,
+                profile=self.kernel_profile,
+            )
+        finally:
+            pool.release(ws)
 
         # Exact rerank per query over every vertex whose page was read.
         out_ids = np.full((b, k), -1, dtype=np.int64)
@@ -346,6 +403,8 @@ class DiskIndex:
             page_reads=policy.page_reads,
             simulated_io_us=policy.io_us,
             distance_computations=result.distance_computations,
+            table_cache_hits=stats.hits_vector(b),
+            workspace_reused=stats.reuse_vector(b),
         )
 
     # ------------------------------------------------------------------

@@ -25,8 +25,9 @@ from ..api.protocol import (
     ensure_finite_queries,
     execute_request,
 )
-from ..engine import SearchContext
+from ..engine import KernelProfile, RunStats, SearchContext
 from ..graphs.base import ProximityGraph
+from ..quantization import TableCache
 from ..quantization.base import BaseQuantizer
 
 
@@ -39,6 +40,8 @@ class FilteredSearchResult:
     hops: int
     distance_computations: int
     beam_width_used: int
+    table_cache_hit: int = 0
+    workspace_reused: int = 0
 
 
 @dataclass
@@ -56,6 +59,15 @@ class FilteredBatchResult:
     hops: np.ndarray
     distance_computations: np.ndarray
     beam_widths_used: np.ndarray
+    table_cache_hits: Optional[np.ndarray] = None
+    workspace_reused: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        b = self.ids.shape[0]
+        if self.table_cache_hits is None:
+            self.table_cache_hits = np.zeros(b, dtype=np.int64)
+        if self.workspace_reused is None:
+            self.workspace_reused = np.zeros(b, dtype=np.int64)
 
     @property
     def num_queries(self) -> int:
@@ -78,6 +90,8 @@ class FilteredBatchResult:
             hops=int(self.hops[i]),
             distance_computations=int(self.distance_computations[i]),
             beam_width_used=int(self.beam_widths_used[i]),
+            table_cache_hit=int(self.table_cache_hits[i]),
+            workspace_reused=int(self.workspace_reused[i]),
         )
 
 
@@ -119,11 +133,38 @@ class FilteredMemoryIndex:
         self.quantizer = quantizer
         self.codes = quantizer.encode(x)
         self.labels = labels
+        self._init_engine(graph)
+
+    def _init_engine(self, graph: ProximityGraph) -> None:
+        """Bind the context with its cross-request amortizers (table
+        cache + workspace pool); shared by both construction paths."""
+        self._fp_token = object()
+        self.kernel_profile: Optional[KernelProfile] = None
         self.context = SearchContext(
             graph=graph,
             codes=self.codes,
-            table_factory=quantizer.lookup_table_batch,
+            table_factory=self.quantizer.lookup_table_batch,
+            table_cache=TableCache(),
+            fingerprint=self._table_fingerprint,
         )
+
+    def _table_fingerprint(self):
+        """Tables depend only on the query and the frozen quantizer."""
+        return (self._fp_token, id(self.quantizer))
+
+    def invalidate_table_cache(self) -> None:
+        """Drop cached tables; call after mutating the quantizer."""
+        self._fp_token = object()
+        if self.context.table_cache is not None:
+            self.context.table_cache.clear()
+
+    def engine_status(self) -> dict:
+        """Hot-path amortizer introspection (cache + workspace pool)."""
+        cache = self.context.table_cache
+        return {
+            "table_cache": cache.stats() if cache is not None else None,
+            "workspace_pool": self.context.workspace_pool.stats(),
+        }
 
     @classmethod
     def from_state(
@@ -140,11 +181,7 @@ class FilteredMemoryIndex:
         self.quantizer = quantizer
         self.codes = np.asarray(codes)
         self.labels = np.asarray(labels).reshape(-1)
-        self.context = SearchContext(
-            graph=graph,
-            codes=self.codes,
-            table_factory=quantizer.lookup_table_batch,
-        )
+        self._init_engine(graph)
         return self
 
     def label_count(self, label: int) -> int:
@@ -231,18 +268,28 @@ class FilteredMemoryIndex:
         available = np.array(
             [self.label_count(int(lab)) for lab in qlabels], dtype=np.int64
         )
-        tables = self.context.tables(queries)
+        table_stats = RunStats()
+        tables = self.context.tables(queries, stats=table_stats)
+        ws_reused = np.zeros(b, dtype=np.int64)
         vertex_labels = self.labels
 
         active = np.ones(b, dtype=bool)
         beam = max(beam_width, k)
         while active.any():
             sub = np.flatnonzero(active)
+            round_stats = RunStats()
             result = self.context.run(
-                queries, beam, tables=tables, qmap=sub, num_queries=sub.size
+                queries,
+                beam,
+                tables=tables,
+                qmap=sub,
+                num_queries=sub.size,
+                stats=round_stats,
+                profile=self.kernel_profile,
             )
             hops[sub] += result.hops
             comps[sub] += result.distance_computations
+            ws_reused[sub] += int(round_stats.workspace_reused)
 
             width = result.ids.shape[1]
             valid = np.arange(width)[None, :] < result.counts[:, None]
@@ -283,4 +330,6 @@ class FilteredMemoryIndex:
             hops=hops,
             distance_computations=comps,
             beam_widths_used=beams_used,
+            table_cache_hits=table_stats.hits_vector(b),
+            workspace_reused=ws_reused,
         )

@@ -132,3 +132,12 @@ class L2RIndex(MemoryIndex):
         memory index; scalar and batched search inherit it through the
         shared context's table factory."""
         return self.reweighter.reweight_batch(super()._build_tables(queries))
+
+    def _table_fingerprint(self):
+        """The learned weights shape the tables too, so they join the
+        cache key (the reweighter is attached *after* the base
+        constructor runs — hence the lazy lookup)."""
+        reweighter = getattr(self, "reweighter", None)
+        return super()._table_fingerprint() + (
+            id(reweighter.weights) if reweighter is not None else None,
+        )

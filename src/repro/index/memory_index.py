@@ -25,20 +25,29 @@ from ..api.protocol import (
     ensure_finite_queries,
     execute_request,
 )
-from ..engine import BatchSearchResult, SearchContext
+from ..engine import BatchSearchResult, RunStats, SearchContext
 from ..graphs.base import ProximityGraph
 from ..quantization.adc import BatchLookupTable
 from ..quantization.base import BaseQuantizer
+from ..quantization.table_cache import TableCache
 
 
 @dataclass
 class MemorySearchResult:
-    """Result of one in-memory query."""
+    """Result of one in-memory query.
+
+    ``table_cache_hit`` / ``workspace_reused`` are engine-telemetry
+    flags (0/1): whether the query's ADC table came from the
+    cross-request cache and whether the kernel ran on a recycled
+    workspace.  Both are path-dependent, never result-affecting.
+    """
 
     ids: np.ndarray
     distances: np.ndarray
     hops: int
     distance_computations: int
+    table_cache_hit: int = 0
+    workspace_reused: int = 0
 
 
 @dataclass
@@ -48,7 +57,9 @@ class MemoryBatchResult:
     ``ids`` / ``distances`` are stacked ``(B, k)`` arrays; row ``b``'s
     first ``counts[b]`` entries are valid (padded with ``-1`` / ``inf``
     beyond).  ``hops`` and ``distance_computations`` are per-query;
-    the ``total_*`` properties aggregate them.
+    the ``total_*`` properties aggregate them.  ``table_cache_hits`` /
+    ``workspace_reused`` are per-query 0/1 engine-telemetry counters
+    (see :class:`MemorySearchResult`).
     """
 
     ids: np.ndarray
@@ -56,6 +67,15 @@ class MemoryBatchResult:
     counts: np.ndarray
     hops: np.ndarray
     distance_computations: np.ndarray
+    table_cache_hits: np.ndarray = None
+    workspace_reused: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        b = self.ids.shape[0]
+        if self.table_cache_hits is None:
+            self.table_cache_hits = np.zeros(b, dtype=np.int64)
+        if self.workspace_reused is None:
+            self.workspace_reused = np.zeros(b, dtype=np.int64)
 
     @property
     def num_queries(self) -> int:
@@ -77,6 +97,8 @@ class MemoryBatchResult:
             distances=self.distances[i, :c].copy(),
             hops=int(self.hops[i]),
             distance_computations=int(self.distance_computations[i]),
+            table_cache_hit=int(self.table_cache_hits[i]),
+            workspace_reused=int(self.workspace_reused[i]),
         )
 
 
@@ -158,9 +180,59 @@ class MemoryIndex:
             self._book = quantizer.codebook
             self.codes = quantizer.encode(x)
         self.dim = x.shape[1]
+        self._init_engine(graph)
+
+    # ------------------------------------------------------------------
+    def _init_engine(self, graph: ProximityGraph) -> None:
+        """Build the search context plus its hot-path amortizers."""
+        self._fp_token = object()  # per-index cache-key identity anchor
+        self.kernel_profile = None
         self.context = SearchContext(
-            graph=graph, codes=self.codes, table_factory=self._build_tables
+            graph=graph,
+            codes=self.codes,
+            table_factory=self._build_tables,
+            table_cache=TableCache(),
+            fingerprint=self._table_fingerprint,
         )
+
+    def _table_fingerprint(self):
+        """Everything that shapes this index's table contents.
+
+        ``_fp_token`` pins index identity (so a shared cache can never
+        mix indexes); the rest invalidates on mode/dtype/codebook
+        change.  Refresh the token (``invalidate_table_cache``) after
+        mutating anything the factory closes over.
+        """
+        return (
+            self._fp_token,
+            self.distance_mode,
+            str(self.table_dtype),
+            id(self._book.codewords),
+        )
+
+    def invalidate_table_cache(self) -> None:
+        """Drop cached tables and refresh the fingerprint token (call
+        after any codebook/transform mutation)."""
+        self._fp_token = object()
+        if self.context.table_cache is not None:
+            self.context.table_cache.clear()
+
+    @property
+    def table_cache(self):
+        """The cross-request ADC table cache (``None`` = disabled)."""
+        return self.context.table_cache
+
+    @table_cache.setter
+    def table_cache(self, cache) -> None:
+        self.context.table_cache = cache
+
+    def engine_status(self) -> dict:
+        """Hot-path introspection: table-cache and workspace-pool stats."""
+        cache = self.context.table_cache
+        return {
+            "table_cache": cache.stats() if cache is not None else None,
+            "workspace_pool": self.context.workspace_pool.stats(),
+        }
 
     # ------------------------------------------------------------------
     def _build_tables(self, queries: np.ndarray) -> BatchLookupTable:
@@ -206,14 +278,19 @@ class MemoryIndex:
         if k > beam_width:
             raise ValueError("k cannot exceed beam_width")
 
-    def _package(self, result: BatchSearchResult) -> MemoryBatchResult:
+    def _package(
+        self, result: BatchSearchResult, stats: RunStats
+    ) -> MemoryBatchResult:
         """Wrap a kernel result in the scenario's batch format."""
+        b = result.ids.shape[0]
         return MemoryBatchResult(
             ids=result.ids,
             distances=result.distances,
             counts=result.counts,
             hops=result.hops,
             distance_computations=result.distance_computations,
+            table_cache_hits=stats.hits_vector(b),
+            workspace_reused=stats.reuse_vector(b),
         )
 
     # ------------------------------------------------------------------
@@ -247,9 +324,7 @@ class MemoryIndex:
             self._book = quantizer.codebook
         self.codes = np.asarray(codes)
         self.dim = int(dim)
-        self.context = SearchContext(
-            graph=graph, codes=self.codes, table_factory=self._build_tables
-        )
+        self._init_engine(graph)
         return self
 
     # ------------------------------------------------------------------
@@ -270,13 +345,7 @@ class MemoryIndex:
             return execute_request(self, query)
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         batch = self.search_batch(query[None, :], k=k, beam_width=beam_width)
-        row = batch.row(0)
-        return MemorySearchResult(
-            ids=row.ids,
-            distances=row.distances,
-            hops=row.hops,
-            distance_computations=row.distance_computations,
-        )
+        return batch.row(0)
 
     def search_batch(
         self,
@@ -304,8 +373,16 @@ class MemoryIndex:
                 hops=np.empty(0, dtype=np.int64),
                 distance_computations=np.empty(0, dtype=np.int64),
             )
+        stats = RunStats()
         return self._package(
-            self.context.run(queries, beam_width, k=k)
+            self.context.run(
+                queries,
+                beam_width,
+                k=k,
+                stats=stats,
+                profile=self.kernel_profile,
+            ),
+            stats,
         )
 
     # ------------------------------------------------------------------

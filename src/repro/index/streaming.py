@@ -37,10 +37,19 @@ from ..api.protocol import (
     ensure_finite_queries,
     execute_request,
 )
-from ..engine import SearchContext, lockstep_apply
+from ..engine import (
+    KernelProfile,
+    KernelWorkspace,
+    RunStats,
+    SearchContext,
+    WorkspacePool,
+    lockstep_apply,
+)
 from ..graphs.base import medoid
 from ..graphs.beam import BatchDistanceFn, beam_search, beam_search_batch
+from ..graphs.packed import PackedAdjacency
 from ..graphs.vamana import robust_prune
+from ..quantization import TableCache
 from ..quantization.base import BaseQuantizer
 
 
@@ -52,6 +61,8 @@ class StreamingSearchResult:
     distances: np.ndarray
     hops: int
     distance_computations: int
+    table_cache_hit: int = 0
+    workspace_reused: int = 0
 
 
 @dataclass
@@ -67,6 +78,15 @@ class StreamingBatchResult:
     counts: np.ndarray
     hops: np.ndarray
     distance_computations: np.ndarray
+    table_cache_hits: Optional[np.ndarray] = None
+    workspace_reused: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        b = self.ids.shape[0]
+        if self.table_cache_hits is None:
+            self.table_cache_hits = np.zeros(b, dtype=np.int64)
+        if self.workspace_reused is None:
+            self.workspace_reused = np.zeros(b, dtype=np.int64)
 
     @property
     def num_queries(self) -> int:
@@ -88,6 +108,8 @@ class StreamingBatchResult:
             distances=self.distances[i, :c].copy(),
             hops=int(self.hops[i]),
             distance_computations=int(self.distance_computations[i]),
+            table_cache_hit=int(self.table_cache_hits[i]),
+            workspace_reused=int(self.workspace_reused[i]),
         )
 
 
@@ -99,9 +121,15 @@ class _LiveGraphView:
     :class:`~repro.graphs.base.ProximityGraph`.
     """
 
-    def __init__(self, adjacency: List[List[int]], entry_point: int) -> None:
+    def __init__(
+        self,
+        adjacency: List[List[int]],
+        entry_point: int,
+        packed: Optional[PackedAdjacency] = None,
+    ) -> None:
         self.adjacency = adjacency
         self.entry_point = entry_point
+        self.packed = packed
 
     def search_batch(
         self,
@@ -111,16 +139,21 @@ class _LiveGraphView:
         k: Optional[int] = None,
         entries: Optional[np.ndarray] = None,
         collect_visited: bool = False,
+        workspace: Optional[KernelWorkspace] = None,
+        profile: Optional[KernelProfile] = None,
     ):
         if entries is None:
             entries = np.full(num_queries, self.entry_point, dtype=np.int64)
+        adjacency = self.packed if self.packed is not None else self.adjacency
         return beam_search_batch(
-            self.adjacency,
+            adjacency,
             entries,
             dist_fn,
             beam_width,
             k=k,
             collect_visited=collect_visited,
+            workspace=workspace,
+            profile=profile,
         )
 
 
@@ -174,6 +207,17 @@ class FreshVamanaIndex:
         self._adjacency: List[List[int]] = []
         self._deleted: List[bool] = []
         self._entry: Optional[int] = None
+
+        # Hot-path amortizers: the packed CSR view of the live adjacency
+        # (invalidated by every graph mutation), a cross-request table
+        # cache (tables depend only on query + quantizer, so inserts do
+        # NOT invalidate it), and the kernel workspace pool.  All three
+        # survive across searches; the per-call _context() re-binds them.
+        self._packed: Optional[PackedAdjacency] = None
+        self._table_cache = TableCache()
+        self._workspace_pool = WorkspacePool()
+        self._fp_token = object()
+        self.kernel_profile: Optional[KernelProfile] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -244,6 +288,7 @@ class FreshVamanaIndex:
         """Append one vector and link it from ``candidates`` (the ids a
         search of the pre-insert graph returned); the exact sequential
         insert body shared by :meth:`insert` and :meth:`insert_batch`."""
+        self._packed = None  # adjacency mutates below
         new_id = len(self._vectors)
         self._vectors.append(vector)
         self._codes.append(self.quantizer.encode(vector[None, :])[0])
@@ -374,6 +419,7 @@ class FreshVamanaIndex:
         deleted = {v for v, dead in enumerate(self._deleted) if dead}
         if not deleted:
             return 0
+        self._packed = None  # edge inheritance rewrites adjacency
         x = np.asarray(self._vectors)
         for v in range(self.num_vertices):
             if self._deleted[v]:
@@ -413,12 +459,43 @@ class FreshVamanaIndex:
 
         return fn
 
+    def _packed_adjacency(self) -> PackedAdjacency:
+        """The CSR view of the live lists, rebuilt lazily after any
+        mutation (insert links / consolidation) invalidates it."""
+        if self._packed is None:
+            self._packed = PackedAdjacency.from_lists(self._adjacency)
+        return self._packed
+
+    def _table_fingerprint(self):
+        """Tables depend on the query and the (frozen) quantizer only —
+        codes appended by inserts never enter a table build, so the
+        cache key ignores graph/code growth entirely."""
+        return (self._fp_token, id(self.quantizer))
+
+    def invalidate_table_cache(self) -> None:
+        """Drop cached tables; call after mutating the quantizer (e.g.
+        refreshing its codebooks out-of-band)."""
+        self._fp_token = object()
+        self._table_cache.clear()
+
+    def engine_status(self) -> dict:
+        """Hot-path amortizer introspection (cache + workspace pool)."""
+        return {
+            "table_cache": self._table_cache.stats(),
+            "workspace_pool": self._workspace_pool.stats(),
+        }
+
     def _context(self) -> SearchContext:
         """Per-call engine context over the current codes and graph."""
         return SearchContext(
-            graph=_LiveGraphView(self._adjacency, self._entry),
+            graph=_LiveGraphView(
+                self._adjacency, self._entry, self._packed_adjacency()
+            ),
             codes=np.asarray(self._codes),
             table_factory=self.quantizer.lookup_table_batch,
+            table_cache=self._table_cache,
+            fingerprint=self._table_fingerprint,
+            workspace_pool=self._workspace_pool,
         )
 
     def search(
@@ -465,7 +542,10 @@ class FreshVamanaIndex:
                 hops=np.zeros(b, dtype=np.int64),
                 distance_computations=np.zeros(b, dtype=np.int64),
             )
-        result = self._context().run(queries, beam_width)
+        stats = RunStats()
+        result = self._context().run(
+            queries, beam_width, stats=stats, profile=self.kernel_profile
+        )
         # Stable compaction: alive candidates first, order preserved —
         # the batched equivalent of boolean masking per query.
         dead = np.asarray(self._deleted, dtype=bool)
@@ -492,4 +572,6 @@ class FreshVamanaIndex:
             counts=take,
             hops=result.hops,
             distance_computations=result.distance_computations,
+            table_cache_hits=stats.hits_vector(b),
+            workspace_reused=stats.reuse_vector(b),
         )

@@ -6,6 +6,8 @@
 * :class:`LinkAndCodeQuantizer` — L&C-style residual refinement [21].
 * :class:`Codebook`, :class:`LookupTable` — shared containers;
   :func:`adc_distances` / :func:`sdc_distances` — distance estimators.
+* :class:`TableCache` — cross-request LRU cache of per-query ADC table
+  rows (the serving-path table-build amortizer).
 * :class:`ScalarQuantizer` (SQ8) / :class:`ResidualQuantizer` (RQ) —
   non-PQ compression baselines.
 * :func:`kmeans` — the Lloyd clustering primitive.
@@ -22,6 +24,7 @@ from .pq import ProductQuantizer
 from .rq import ResidualQuantizer
 from .scalar import ScalarQuantizer
 from .serialization import load_quantizer, save_quantizer
+from .table_cache import TableCache
 
 __all__ = [
     "BaseQuantizer",
@@ -33,6 +36,7 @@ __all__ = [
     "code_dtype_for",
     "BatchLookupTable",
     "LookupTable",
+    "TableCache",
     "adc_distances",
     "sdc_distances",
     "kmeans",

@@ -20,7 +20,23 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import DTypeLike
+
     from .codebook import Codebook
+
+
+def _validate_table_dtype(dtype: "DTypeLike") -> np.dtype:
+    """Tables are distance accumulators: only float32/float64 make sense.
+
+    Anything else (float16 overflow, integer truncation, object arrays)
+    would silently corrupt distances, so reject it loudly.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(
+            f"lookup-table dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -40,14 +56,16 @@ class LookupTable:
     def build(
         codebook: "Codebook",
         query: np.ndarray,
-        dtype: np.dtype = np.float64,
+        dtype: "DTypeLike" = np.float64,
     ) -> "LookupTable":
         """Precompute the table for ``query`` (already transformed).
 
         ``dtype`` selects the table precision: ``np.float64`` (default)
         or ``np.float32`` — the latter halves table-build bandwidth at
-        the cost of a few ULPs of distance accuracy.
+        the cost of a few ULPs of distance accuracy.  Other dtypes are
+        rejected with :class:`ValueError`.
         """
+        dtype = _validate_table_dtype(dtype)
         query = np.asarray(query, dtype=dtype).reshape(-1)
         if query.shape[0] != codebook.dim:
             raise ValueError(
@@ -68,7 +86,12 @@ class LookupTable:
         return self.table.shape[1]
 
     def distance(self, codes: np.ndarray) -> np.ndarray:
-        """ADC distance estimate for compact codes ``(n, M)`` or ``(M,)``."""
+        """ADC distance estimate for compact codes ``(n, M)`` or ``(M,)``.
+
+        Accumulates chunk contributions in ascending chunk order — the
+        one summation order every distance path in the repo shares, so
+        scalar, matrix, and paired estimates agree bitwise.
+        """
         codes = np.asarray(codes)
         single = codes.ndim == 1
         codes2d = np.atleast_2d(codes).astype(np.int64, copy=False)
@@ -77,7 +100,9 @@ class LookupTable:
                 f"codes have {codes2d.shape[1]} chunks, table expects "
                 f"{self.num_chunks}"
             )
-        out = self.table[np.arange(self.num_chunks)[None, :], codes2d].sum(axis=1)
+        out = self.table[0, codes2d[:, 0]].copy()
+        for j in range(1, self.num_chunks):
+            out += self.table[j, codes2d[:, j]]
         return out[0] if single else out
 
 
@@ -102,14 +127,16 @@ class BatchLookupTable:
     def build(
         codebook: "Codebook",
         queries: np.ndarray,
-        dtype: np.dtype = np.float64,
+        dtype: "DTypeLike" = np.float64,
     ) -> "BatchLookupTable":
         """Precompute tables for ``queries`` ``(B, dim)`` (transformed).
 
         Each row's table is bitwise identical to
         ``LookupTable.build(codebook, queries[b], dtype)`` — both paths
-        reduce over the sub-dimension axis in the same order.
+        reduce over the sub-dimension axis in the same order.  Like the
+        scalar build, ``dtype`` must be float32 or float64.
         """
+        dtype = _validate_table_dtype(dtype)
         queries = np.atleast_2d(np.asarray(queries, dtype=dtype))
         if queries.shape[1] != codebook.dim:
             raise ValueError(
@@ -146,13 +173,17 @@ class BatchLookupTable:
             )
 
     def distance(self, codes: np.ndarray) -> np.ndarray:
-        """All-pairs ADC estimates: ``(B, n)`` for codes ``(n, M)``."""
+        """All-pairs ADC estimates: ``(B, n)`` for codes ``(n, M)``.
+
+        Same ascending-chunk accumulation order as the scalar
+        :meth:`LookupTable.distance`, so both agree bitwise.
+        """
         codes2d = np.atleast_2d(np.asarray(codes)).astype(np.int64, copy=False)
         self._check_codes(codes2d)
-        gathered = self.tables[
-            :, np.arange(self.num_chunks)[None, :], codes2d
-        ]
-        return gathered.sum(axis=2)
+        out = self.tables[:, 0, :][:, codes2d[:, 0]].copy()
+        for j in range(1, self.num_chunks):
+            out += self.tables[:, j, :][:, codes2d[:, j]]
+        return out
 
     def pair_distance(
         self, query_idx: np.ndarray, codes: np.ndarray
@@ -171,10 +202,25 @@ class BatchLookupTable:
                 f"{query_idx.shape[0]} query indices for "
                 f"{codes2d.shape[0]} codes"
             )
-        gathered = self.tables[
-            query_idx[:, None], np.arange(self.num_chunks)[None, :], codes2d
-        ]
-        return gathered.sum(axis=1)
+        # Flat transposed gather: one (M, P) fancy read off the flattened
+        # table block plus M-1 contiguous row adds — markedly cheaper
+        # than a broadcast 3-D fancy index with an axis reduction, and
+        # the ascending-chunk accumulation matches the scalar path
+        # bitwise.
+        m = self.num_chunks
+        k = self.num_codewords
+        idx = (
+            (query_idx * (m * k))[None, :]
+            + (np.arange(m) * k)[:, None]
+            + codes2d.T
+        )
+        gathered = self.tables.reshape(-1)[idx]
+        if m == 1:
+            return gathered[0].copy()
+        out = gathered[0] + gathered[1]
+        for j in range(2, m):
+            out += gathered[j]
+        return out
 
 
 def adc_distances(

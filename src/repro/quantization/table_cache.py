@@ -1,0 +1,147 @@
+"""Cross-request ADC table cache.
+
+Serving traffic is zipfian: the same (or byte-identical) queries recur,
+and every recurrence currently pays the full einsum table build.  The
+:class:`TableCache` amortizes that cost away — it memoizes *per-query*
+table rows keyed on the raw query bytes plus a *factory fingerprint*
+(which codebook / dtype / distance mode / reweighting produced the
+table), so a repeated query's table is a dict lookup instead of an
+einsum.
+
+Correctness rests on two invariants:
+
+* every table factory in the repo is **row-independent** — building
+  tables for a subset of a batch yields rows bitwise identical to
+  building the full batch (pinned by the scalar-vs-batch parity
+  tests) — so a cache-stitched batch equals a cold build bit for bit;
+* the fingerprint changes whenever anything that influences table
+  contents changes (codebook retrain, reweighter swap, transform
+  change, dtype/mode switch), so stale rows can never be served.
+
+Cached rows are stored read-only and copied into the assembled batch,
+so a hit can never alias a previous caller's arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .adc import BatchLookupTable
+
+#: Default number of cached table rows.  A row is ``(M, K)`` float64 —
+#: 8·M·K bytes (2 KiB at the repo-default M=8, K=32) — so the default
+#: capacity costs well under a megabyte while covering a hot query set.
+DEFAULT_CAPACITY = 256
+
+
+class TableCache:
+    """Thread-safe LRU cache of per-query ADC table rows.
+
+    Keys are ``(fingerprint, query_row_bytes)``; values are read-only
+    ``(M, K)`` table arrays.  ``get_batch`` is the one entry point: it
+    probes every row of a query batch, builds only the misses through
+    the supplied factory, stitches hits and fresh rows into one
+    :class:`BatchLookupTable`, and records per-row hit flags.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._store: "OrderedDict[Tuple[Hashable, bytes], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> dict:
+        """Lifetime counters plus current occupancy."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._store),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached row (codebook/transform invalidation)."""
+        with self._lock:
+            self._store.clear()
+
+    # -- the hot path --------------------------------------------------
+
+    def get_batch(
+        self,
+        fingerprint: Hashable,
+        queries: np.ndarray,
+        factory: Callable[[np.ndarray], BatchLookupTable],
+    ) -> Tuple[BatchLookupTable, np.ndarray]:
+        """Return ``(tables, hit_mask)`` for a query batch.
+
+        ``factory`` is called at most once, on the *miss subset* of the
+        batch; because every factory is row-independent the stitched
+        result is bitwise identical to ``factory(queries)``.  The
+        returned tables never alias cache storage.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        b = queries.shape[0]
+        hit_mask = np.zeros(b, dtype=bool)
+        if b == 0:
+            return factory(queries), hit_mask
+
+        keys = [(fingerprint, queries[i].tobytes()) for i in range(b)]
+        rows: list = [None] * b
+        with self._lock:
+            for i, key in enumerate(keys):
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._store.move_to_end(key)
+                    rows[i] = cached
+                    hit_mask[i] = True
+                    self._hits += 1
+                else:
+                    self._misses += 1
+
+        miss_idx = np.flatnonzero(~hit_mask)
+        if miss_idx.size == b:
+            # All cold: build once, seed the cache, return the build
+            # directly (no stitching needed).
+            built = factory(queries)
+            self._insert(keys, built.tables, range(b))
+            return built, hit_mask
+        if miss_idx.size:
+            built = factory(queries[miss_idx])
+            for j, i in enumerate(miss_idx):
+                rows[i] = built.tables[j]
+            self._insert(keys, built.tables, miss_idx, built_rows=True)
+
+        tables = np.stack([np.asarray(r) for r in rows])
+        return BatchLookupTable(tables=tables), hit_mask
+
+    def _insert(self, keys, tables, indices, built_rows: bool = False) -> None:
+        with self._lock:
+            for j, i in enumerate(indices):
+                row = tables[j] if built_rows else tables[i]
+                stored = np.array(row, copy=True)
+                stored.setflags(write=False)
+                self._store[keys[i]] = stored
+                self._store.move_to_end(keys[i])
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self._evictions += 1

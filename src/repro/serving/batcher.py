@@ -38,7 +38,10 @@ _STOP = object()
 #: Scalar-result fields whose batch-result counterpart uses a different
 #: name; :meth:`DynamicBatcher.search` renames them so its responses
 #: carry the same counter keys as every other ``search(request)`` path.
-_SCALAR_TO_BATCH_COUNTER = {"beam_width_used": "beam_widths_used"}
+_SCALAR_TO_BATCH_COUNTER = {
+    "beam_width_used": "beam_widths_used",
+    "table_cache_hit": "table_cache_hits",
+}
 
 
 @dataclass

@@ -248,6 +248,23 @@ class ShardedIndex:
         unreplicated backends report one always-alive row per shard."""
         return self._backend.fleet_status()
 
+    def engine_status(self) -> List[dict]:
+        """Per-shard hot-path amortizer stats (table cache + workspace
+        pool), one row per shard; shards without the engine wiring
+        (e.g. plain stubs) report ``None``.  Note the process backend
+        runs searches in worker processes, so the in-process shard
+        objects' counters only reflect searches served locally."""
+        rows: List[dict] = []
+        for s, shard in enumerate(self._shards):
+            status = getattr(shard, "engine_status", None)
+            if status is None:
+                rows.append(
+                    {"shard": s, "table_cache": None, "workspace_pool": None}
+                )
+            else:
+                rows.append({"shard": s, **status()})
+        return rows
+
     def _swap_backend(self, backend: str, replicas: int) -> None:
         replacement = make_shard_backend(
             backend,

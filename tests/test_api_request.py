@@ -44,6 +44,11 @@ def build_all(setup):
     }
 
 
+# Engine-amortizer telemetry (cache/pool warmth) varies between the
+# two executions being compared; answers stay bitwise identical.
+VOLATILE_COUNTERS = {"table_cache_hits", "workspace_reused"}
+
+
 def assert_response_matches_batch(response, batch):
     import dataclasses
 
@@ -52,6 +57,9 @@ def assert_response_matches_batch(response, batch):
     np.testing.assert_array_equal(response.counts, batch.counts)
     for field in dataclasses.fields(batch):
         if field.name in ("ids", "distances", "counts"):
+            continue
+        if field.name in VOLATILE_COUNTERS:
+            assert field.name in response.counters
             continue
         np.testing.assert_array_equal(
             response.counters[field.name], getattr(batch, field.name)

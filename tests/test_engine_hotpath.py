@@ -1,0 +1,551 @@
+"""Hot-path engine overhaul invariants.
+
+Three amortizers were layered under the lockstep kernel — the packed
+CSR adjacency, the reusable kernel workspaces, and the cross-request
+ADC table cache — and every one of them must be *bitwise invisible*:
+
+* routing over :class:`~repro.graphs.PackedAdjacency` equals routing
+  over the original list-of-arrays adjacency;
+* a search on a recycled (dirty) workspace equals a search on fresh
+  buffers;
+* a cache-warm search equals the cold search that seeded the cache,
+  on every scenario including the filtered qmap path and the sharded
+  and dynamic-batching serving paths.
+
+The telemetry (``table_cache_hits`` / ``workspace_reused`` counters,
+``engine_status()``) is asserted separately — it is *allowed* to vary
+between executions; the answers are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.engine import KernelProfile, KernelWorkspace, WorkspacePool
+from repro.graphs import PackedAdjacency, beam_search_batch, build_vamana
+from repro.index import (
+    DiskIndex,
+    FilteredIndex,
+    L2RIndex,
+    MemoryIndex,
+    StreamingIndex,
+)
+from repro.quantization import ProductQuantizer, TableCache
+from repro.quantization.adc import BatchLookupTable, LookupTable
+from repro.serving import DynamicBatcher, ShardedIndex
+
+VOLATILE_COUNTERS = {"table_cache_hits", "workspace_reused"}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = load("sift", n_base=300, n_queries=8, seed=7)
+    quantizer = ProductQuantizer(8, 16, seed=0).fit(data.train)
+    graph = build_vamana(data.base, r=8, search_l=20, seed=0)
+    return data, quantizer, graph
+
+
+def make_index(name, setup):
+    data, quantizer, graph = setup
+    if name == "memory":
+        return MemoryIndex(graph, quantizer, data.base)
+    if name == "l2r":
+        return L2RIndex(
+            graph, quantizer, data.base, rng=np.random.default_rng(0)
+        )
+    if name == "disk":
+        return DiskIndex(graph, quantizer, data.base)
+    if name == "filtered":
+        labels = np.arange(data.base.shape[0]) % 3
+        return FilteredIndex(graph, quantizer, data.base, labels)
+    if name == "streaming":
+        index = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=8, search_l=20, seed=0
+        )
+        index.insert_batch(data.base[:120])
+        return index
+    raise AssertionError(name)
+
+
+def run_search(name, index, queries):
+    if name == "filtered":
+        qlabels = np.arange(queries.shape[0]) % 3
+        return index.search_batch(queries, qlabels, k=5, beam_width=16)
+    return index.search_batch(queries, k=5, beam_width=16)
+
+
+def assert_same_answers(a, b):
+    """Every field except the volatile amortizer telemetry, bitwise."""
+    assert type(a) is type(b)
+    for field in dataclasses.fields(type(a)):
+        if field.name in VOLATILE_COUNTERS:
+            continue
+        np.testing.assert_array_equal(
+            getattr(a, field.name), getattr(b, field.name),
+            err_msg=field.name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Packed adjacency
+# ----------------------------------------------------------------------
+
+
+class TestPackedAdjacency:
+    def test_round_trip_and_views(self):
+        lists = [[1, 2], [], [0, 3, 1], [2]]
+        packed = PackedAdjacency.from_lists(lists)
+        assert len(packed) == 4
+        np.testing.assert_array_equal(packed.degrees(), [2, 0, 3, 1])
+        for v, nbrs in enumerate(lists):
+            np.testing.assert_array_equal(packed[v], nbrs)
+        round_trip = packed.to_lists()
+        assert len(round_trip) == len(lists)
+        for got, want in zip(round_trip, lists):
+            np.testing.assert_array_equal(got, want)
+
+    def test_gather_matches_concatenation(self):
+        rng = np.random.default_rng(0)
+        lists = [
+            list(rng.integers(0, 50, size=rng.integers(0, 9)))
+            for _ in range(50)
+        ]
+        packed = PackedAdjacency.from_lists(lists)
+        vertices = np.array([3, 3, 0, 49, 7], dtype=np.int64)
+        flat, lens = packed.gather(vertices)
+        expected = np.concatenate(
+            [np.asarray(lists[v], dtype=np.int64) for v in vertices]
+        )
+        np.testing.assert_array_equal(flat, expected)
+        np.testing.assert_array_equal(
+            lens, [len(lists[v]) for v in vertices]
+        )
+
+    def test_rejects_inconsistent_offsets(self):
+        with pytest.raises(ValueError, match="offsets"):
+            PackedAdjacency(
+                neighbors=np.arange(3, dtype=np.int64),
+                offsets=np.array([0, 2], dtype=np.int64),
+            )
+
+    def test_kernel_parity_packed_vs_lists(self, setup):
+        data, _, graph = setup
+        lists = [np.asarray(nbrs) for nbrs in graph.adjacency]
+        packed = PackedAdjacency.from_lists(lists)
+        queries = data.queries
+        base = data.base
+
+        def dist_fn(qidx, vertex_ids):
+            diff = base[vertex_ids] - queries[qidx]
+            return np.einsum("ij,ij->i", diff, diff)
+
+        entries = np.full(
+            queries.shape[0], graph.entry_point, dtype=np.int64
+        )
+        a = beam_search_batch(lists, entries, dist_fn, 16, k=5)
+        b = beam_search_batch(packed, entries, dist_fn, 16, k=5)
+        for field in dataclasses.fields(type(a)):
+            np.testing.assert_array_equal(
+                getattr(a, field.name), getattr(b, field.name),
+                err_msg=field.name,
+            )
+
+    def test_graph_survives_save_load(self, setup, tmp_path):
+        from repro.graphs import load_graph, save_graph
+
+        _, _, graph = setup
+        save_graph(graph, tmp_path / "g.npz")
+        loaded = load_graph(tmp_path / "g.npz")
+        packed = loaded.packed()
+        np.testing.assert_array_equal(
+            packed.neighbors, graph.packed().neighbors
+        )
+        np.testing.assert_array_equal(
+            packed.offsets, graph.packed().offsets
+        )
+
+
+# ----------------------------------------------------------------------
+# Workspace reuse
+# ----------------------------------------------------------------------
+
+
+class TestWorkspaceReuse:
+    def test_dirty_workspace_is_invisible(self, setup):
+        data, quantizer, graph = setup
+        index = MemoryIndex(graph, quantizer, data.base)
+        fresh = index.search_batch(data.queries, k=5, beam_width=16)
+        assert not fresh.workspace_reused.any()
+        again = index.search_batch(data.queries, k=5, beam_width=16)
+        assert again.workspace_reused.all()
+        assert_same_answers(fresh, again)
+
+    def test_workspace_resizes_across_batch_shapes(self, setup):
+        data, quantizer, graph = setup
+        index = MemoryIndex(graph, quantizer, data.base)
+        # Grow, shrink, regrow: the recycled buffers must re-shape
+        # without leaking state between shapes.
+        small_cold = index.search_batch(data.queries[:2], k=5, beam_width=8)
+        index.search_batch(data.queries, k=5, beam_width=32)
+        small_warm = index.search_batch(data.queries[:2], k=5, beam_width=8)
+        assert small_warm.workspace_reused.all()
+        assert_same_answers(small_cold, small_warm)
+
+    def test_pool_recycles_and_reports(self):
+        pool = WorkspacePool()
+        ws = pool.acquire()
+        assert isinstance(ws, KernelWorkspace)
+        assert not ws.reused
+        pool.release(ws)
+        ws2 = pool.acquire()
+        assert ws2 is ws
+        assert ws2.reused
+        pool.release(ws2)
+        stats = pool.stats()
+        assert stats["created"] == 1
+        assert stats["reuses"] == 1
+
+    def test_concurrent_acquires_get_distinct_workspaces(self):
+        pool = WorkspacePool()
+        a, b = pool.acquire(), pool.acquire()
+        assert a is not b
+        pool.release(a)
+        pool.release(b)
+
+
+# ----------------------------------------------------------------------
+# Table cache: unit behavior
+# ----------------------------------------------------------------------
+
+
+class TestTableCache:
+    @staticmethod
+    def factory(queries):
+        queries = np.atleast_2d(queries)
+        # A deterministic, row-independent stand-in table build.
+        tables = np.stack(
+            [np.outer(np.arange(2.0), q[:3] + 1.0) for q in queries]
+        )
+        return BatchLookupTable(tables=tables)
+
+    def test_hit_returns_bitwise_equal_rows(self):
+        cache = TableCache(capacity=8)
+        queries = np.arange(12.0).reshape(2, 6)
+        cold, mask = cache.get_batch("fp", queries, self.factory)
+        assert not mask.any()
+        warm, mask = cache.get_batch("fp", queries, self.factory)
+        assert mask.all()
+        np.testing.assert_array_equal(cold.tables, warm.tables)
+
+    def test_partial_hit_stitches_exactly(self):
+        cache = TableCache(capacity=8)
+        queries = np.arange(18.0).reshape(3, 6)
+        cache.get_batch("fp", queries[:2], self.factory)
+        stitched, mask = cache.get_batch("fp", queries, self.factory)
+        np.testing.assert_array_equal(mask, [True, True, False])
+        np.testing.assert_array_equal(
+            stitched.tables, self.factory(queries).tables
+        )
+
+    def test_fingerprint_mismatch_misses(self):
+        cache = TableCache(capacity=8)
+        queries = np.arange(6.0).reshape(1, 6)
+        cache.get_batch("fp-a", queries, self.factory)
+        _, mask = cache.get_batch("fp-b", queries, self.factory)
+        assert not mask.any()
+
+    def test_lru_eviction(self):
+        cache = TableCache(capacity=2)
+        q = np.arange(18.0).reshape(3, 6)
+        cache.get_batch("fp", q[0], self.factory)
+        cache.get_batch("fp", q[1], self.factory)
+        cache.get_batch("fp", q[0], self.factory)  # refresh q0
+        cache.get_batch("fp", q[2], self.factory)  # evicts q1 (LRU)
+        assert len(cache) == 2
+        _, mask0 = cache.get_batch("fp", q[0], self.factory)
+        assert mask0.all()
+        _, mask1 = cache.get_batch("fp", q[1], self.factory)
+        assert not mask1.any()
+        assert cache.stats()["evictions"] >= 1
+
+    def test_stats_and_clear(self):
+        cache = TableCache(capacity=4)
+        q = np.arange(6.0).reshape(1, 6)
+        cache.get_batch("fp", q, self.factory)
+        cache.get_batch("fp", q, self.factory)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        cache.clear()
+        assert len(cache) == 0
+        _, mask = cache.get_batch("fp", q, self.factory)
+        assert not mask.any()
+
+    def test_hits_never_alias_cache_storage(self):
+        cache = TableCache(capacity=4)
+        q = np.arange(6.0).reshape(1, 6)
+        cache.get_batch("fp", q, self.factory)
+        warm, _ = cache.get_batch("fp", q, self.factory)
+        warm.tables[:] = -1.0  # caller may scribble on its copy
+        again, mask = cache.get_batch("fp", q, self.factory)
+        assert mask.all()
+        np.testing.assert_array_equal(
+            again.tables, self.factory(q).tables
+        )
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TableCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Cache warm vs cold: every scenario, bitwise
+# ----------------------------------------------------------------------
+
+
+SCENARIOS = ["memory", "l2r", "disk", "filtered", "streaming"]
+
+
+class TestCachedSearchParity:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_warm_equals_cold(self, setup, name):
+        data, _, _ = setup
+        index = make_index(name, setup)
+        cold = run_search(name, index, data.queries)
+        assert not cold.table_cache_hits.any()
+        warm = run_search(name, index, data.queries)
+        assert warm.table_cache_hits.all()
+        assert_same_answers(cold, warm)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_partial_overlap_stream(self, setup, name):
+        data, _, _ = setup
+        index = make_index(name, setup)
+        run_search(name, index, data.queries[:4])
+        mixed = run_search(name, index, data.queries)
+        np.testing.assert_array_equal(
+            mixed.table_cache_hits[:4], np.ones(4, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            mixed.table_cache_hits[4:], np.zeros(4, dtype=np.int64)
+        )
+        fresh = run_search(name, make_index(name, setup), data.queries)
+        assert_same_answers(fresh, mixed)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_engine_status_surfaces_counters(self, setup, name):
+        data, _, _ = setup
+        index = make_index(name, setup)
+        run_search(name, index, data.queries)
+        run_search(name, index, data.queries)
+        status = index.engine_status()
+        assert status["table_cache"]["hits"] >= data.queries.shape[0]
+        assert status["workspace_pool"]["reuses"] >= 1
+
+    def test_invalidate_table_cache(self, setup):
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        run_search("memory", index, data.queries)
+        index.invalidate_table_cache()
+        again = run_search("memory", index, data.queries)
+        assert not again.table_cache_hits.any()
+
+    def test_scalar_search_reports_hit(self, setup):
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        cold = index.search(data.queries[0], k=5, beam_width=16)
+        assert cold.table_cache_hit == 0
+        warm = index.search(data.queries[0], k=5, beam_width=16)
+        assert warm.table_cache_hit == 1
+        np.testing.assert_array_equal(cold.ids, warm.ids)
+        np.testing.assert_array_equal(cold.distances, warm.distances)
+
+
+class TestStreamingInvalidation:
+    def test_inserts_keep_cache_but_invalidate_packed(self, setup):
+        data, quantizer, _ = setup
+        index = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=8, search_l=20, seed=0
+        )
+        index.insert_batch(data.base[:100])
+        index.search_batch(data.queries, k=5, beam_width=16)
+        packed_before = index._packed_adjacency()
+        index.insert_batch(data.base[100:140])
+        assert index._packed is None  # mutation dropped the CSR view
+        warm = index.search_batch(data.queries, k=5, beam_width=16)
+        assert index._packed is not packed_before
+        # Tables depend only on query + quantizer: still cache hits.
+        assert warm.table_cache_hits.all()
+
+        # The packed route must equal a from-scratch sequential build.
+        reference = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=8, search_l=20, seed=0
+        )
+        for row in data.base[:140]:
+            reference.insert(row)
+        expected = reference.search_batch(data.queries, k=5, beam_width=16)
+        assert_same_answers(expected, warm)
+
+    def test_delete_does_not_invalidate_packed(self, setup):
+        data, quantizer, _ = setup
+        index = StreamingIndex(
+            quantizer, dim=data.base.shape[1], r=8, search_l=20, seed=0
+        )
+        index.insert_batch(data.base[:60])
+        index.search_batch(data.queries, k=5, beam_width=16)
+        packed = index._packed
+        assert packed is not None
+        index.delete(3)  # tombstones do not touch adjacency
+        assert index._packed is packed
+        index.consolidate()  # edge inheritance does
+        assert index._packed is None
+        result = index.search_batch(data.queries, k=5, beam_width=16)
+        assert not (result.ids == 3).any()
+
+
+# ----------------------------------------------------------------------
+# Serving paths: sharded fan-out and dynamic batching
+# ----------------------------------------------------------------------
+
+
+class TestServingPaths:
+    def test_sharded_warm_equals_cold(self, setup):
+        data, quantizer, _ = setup
+        sharded = ShardedIndex.build(
+            data.base,
+            num_shards=2,
+            factory=lambda rows: MemoryIndex(
+                build_vamana(rows, r=8, search_l=20, seed=0),
+                quantizer,
+                rows,
+            ),
+        )
+        with sharded:
+            cold = sharded.search_batch(data.queries, k=5, beam_width=16)
+            warm = sharded.search_batch(data.queries, k=5, beam_width=16)
+            assert_same_answers(cold, warm)
+            # Summed across shards: every shard hit on the warm pass.
+            np.testing.assert_array_equal(
+                warm.table_cache_hits,
+                np.full(data.queries.shape[0], 2, dtype=np.int64),
+            )
+            status = sharded.engine_status()
+            assert len(status) == 2
+            assert all(
+                row["table_cache"]["hits"] > 0 for row in status
+            )
+
+    def test_batcher_reports_cache_counters(self, setup):
+        from repro.api import SearchRequest
+
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        with DynamicBatcher(
+            index, k=5, beam_width=16, max_wait_ms=0.0
+        ) as batcher:
+            request = SearchRequest(
+                queries=data.queries, k=5, beam_width=16
+            )
+            cold = batcher.search(request)
+            warm = batcher.search(request)
+        assert "table_cache_hits" in cold.counters
+        assert "workspace_reused" in warm.counters
+        assert warm.counters["table_cache_hits"].all()
+        np.testing.assert_array_equal(cold.ids, warm.ids)
+        np.testing.assert_array_equal(cold.distances, warm.distances)
+        np.testing.assert_array_equal(cold.counts, warm.counts)
+
+    def test_response_counters_include_telemetry(self, setup):
+        from repro.api import SearchRequest, execute_request
+
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        execute_request(index, request)
+        warm = execute_request(index, request)
+        assert warm.counters["table_cache_hits"].all()
+        assert "workspace_reused" in warm.counters
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks
+# ----------------------------------------------------------------------
+
+
+class TestKernelProfile:
+    def test_profile_collects_stage_timers(self, setup):
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        baseline = run_search("memory", index, data.queries)
+        index.kernel_profile = KernelProfile()
+        profiled = run_search("memory", index, data.queries)
+        assert_same_answers(baseline, profiled)
+        profile = index.kernel_profile
+        assert profile.rounds > 0
+        assert profile.calls == 1
+        report = profile.report()
+        for stage in ("gather", "score", "rank", "truncate"):
+            assert profile.seconds[stage] >= 0.0
+            assert stage in report
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes: top_k copies, ADC dtype validation
+# ----------------------------------------------------------------------
+
+
+class TestTopKCopies:
+    def test_batch_top_k_is_a_copy(self, setup):
+        data, _, _ = setup
+        index = make_index("memory", setup)
+        batch = index.context.run(data.queries, 16, k=None)
+        top = batch.top_k(3)
+        assert top.ids.shape == (data.queries.shape[0], 3)
+        original = batch.ids.copy()
+        top.ids[:] = -7
+        top.distances[:] = np.nan
+        np.testing.assert_array_equal(batch.ids, original)
+
+    def test_scalar_top_k_is_a_copy(self, setup):
+        data, quantizer, graph = setup
+        from repro.graphs import beam_search, exact_distance_fn
+
+        result = beam_search(
+            graph.adjacency,
+            graph.entry_point,
+            exact_distance_fn(data.base, data.queries[0]),
+            16,
+        )
+        top = result.top_k(3)
+        original = result.ids.copy()
+        top.ids[:] = -7
+        np.testing.assert_array_equal(result.ids, original)
+
+
+class TestLookupTableDtypeValidation:
+    @staticmethod
+    def codebook():
+        from repro.quantization.codebook import Codebook
+
+        return Codebook(codewords=np.zeros((2, 4, 3)))
+
+    def test_rejects_non_float_dtypes(self):
+        book = self.codebook()
+        with pytest.raises(ValueError, match="float32 or float64"):
+            LookupTable.build(book, np.zeros(6), dtype=np.int32)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            BatchLookupTable.build(
+                book, np.zeros((1, 6)), dtype=np.float16
+            )
+
+    def test_accepts_both_float_widths(self):
+        book = self.codebook()
+        for dtype in (np.float32, np.float64):
+            table = LookupTable.build(book, np.zeros(6), dtype=dtype)
+            assert table.table.dtype == np.dtype(dtype)

@@ -49,9 +49,16 @@ def build_memory(x, quantizer):
     )
 
 
+# Engine-amortizer telemetry varies with cache/pool warmth across
+# executions while the answers stay bitwise identical.
+VOLATILE_COUNTERS = {"table_cache_hits", "workspace_reused"}
+
+
 def assert_results_identical(a, b):
     assert type(a) is type(b)
     for field in dataclasses.fields(type(a)):
+        if field.name in VOLATILE_COUNTERS:
+            continue
         np.testing.assert_array_equal(
             getattr(a, field.name),
             getattr(b, field.name),
