@@ -9,7 +9,7 @@ export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-batch test-build test-replication \
 	chaos-smoke bench-batch bench-build bench-serving bench-kernel \
-	profile-kernel smoke smoke-examples demo lint ci ci-full
+	bench-load profile-kernel smoke smoke-examples demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -60,6 +60,13 @@ bench-serving:
 bench-kernel:
 	cd benchmarks && $(PYTHON) -m pytest bench_kernel.py -q
 
+# Open-loop Poisson load sweep: QPS-vs-p99 frontier per backend config
+# with knee/SLO gates (bitwise identity under load, zero drops, and
+# exact accounting always assert; the knee-QPS and p99-at-half-knee
+# gates honor REPRO_SKIP_SPEEDUP_GATES).  Emits BENCH_load.json.
+bench-load:
+	cd benchmarks && $(PYTHON) -m pytest bench_load.py -q
+
 # Per-round kernel stage breakdown (gather/score/rank/truncate) — the
 # only entry point that turns the profiling hooks on.
 profile-kernel:
@@ -108,7 +115,8 @@ ci: lint test-fast chaos-smoke smoke-examples
 # re-runs it by name so a marker change can never silently drop it.)
 ci-full: lint test test-replication smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
-		bench_build.py bench_serving.py bench_kernel.py -q
+		bench_build.py bench_serving.py bench_kernel.py \
+		bench_load.py -q
 
 demo:
 	$(PYTHON) -m repro.cli demo --batch-size 64

@@ -300,7 +300,7 @@ def test_serving_throughput(benchmark):
         blocks.append(
             format_table(
                 ["max batch", "max wait ms", "shards", "QPS",
-                 "p50 ms", "p99 ms", "mean batch"],
+                 "p50 ms", "p99 ms", "q wait ms", "mean batch"],
                 rows,
                 title=(
                     f"Dynamic-batching serving (sift, n={N_BASE}, "
@@ -379,6 +379,7 @@ def test_serving_throughput(benchmark):
                         "qps": round(p.qps, 1),
                         "p50_ms": round(p.p50_ms, 3),
                         "p99_ms": round(p.p99_ms, 3),
+                        "mean_queue_wait_ms": round(p.mean_queue_wait_ms, 3),
                         "mean_batch": round(p.mean_batch, 2),
                     }
                     for shard_points in points.values()

@@ -13,10 +13,18 @@ from __future__ import annotations
 import json
 import math
 import os
+import platform
+import sys
 import time
 from typing import Dict, List
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the committed-baseline envelope (the stamp every
+#: ``BENCH_*.json`` carries, not the per-bench payload shape).  Bump it
+#: when the envelope itself changes meaning; the CI comparison job
+#: fails on a mismatch so schema drift is explicit, never silent.
+BENCH_SCHEMA_VERSION = 2
 
 #: Committed machine-readable baselines live at the repo root (the
 #: human-readable blocks under results/ stay untracked).
@@ -65,13 +73,39 @@ def process_speedup_gate_enabled() -> bool:
     return speedup_gates_enabled() and usable_cpus() >= 2
 
 
+def host_fingerprint() -> dict:
+    """Where this baseline was measured: the fields that make wall-clock
+    numbers non-comparable across machines.
+
+    The CI baseline-comparison job keys off this block — when the
+    fingerprint differs from the committed baseline's, timing diffs are
+    *reported*, not failed (identity/schema fields are compared either
+    way).
+    """
+    return {
+        "usable_cpus": usable_cpus(),
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
 def save_json_baseline(name: str, payload: dict) -> str:
     """Write a committed ``BENCH_<name>.json`` baseline at the repo root.
 
     Unlike the human-readable blocks under ``results/`` (untracked),
     these are machine-readable snapshots meant to be committed so the
-    bench trajectory is visible in history.
+    bench trajectory is visible in history.  Every baseline is stamped
+    with ``schema_version`` and the measuring host's fingerprint so the
+    CI comparison job (``benchmarks/compare_baselines.py``) can fail on
+    schema/identity drift while treating cross-host timing diffs as
+    report-only.
     """
+    payload = dict(payload)
+    payload["schema_version"] = BENCH_SCHEMA_VERSION
+    payload["host"] = host_fingerprint()
     path = os.path.join(BASELINE_DIR, f"BENCH_{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

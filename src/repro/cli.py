@@ -9,8 +9,10 @@ Commands
     (``--batch-size N`` answers queries through the batched engine).
 ``experiment``
     Run one of the paper-artifact drivers (table2, fig4, batch, build)
-    or the serving-layer driver (``serve`` — dynamic batching QPS vs
-    latency, optionally over a sharded index) and print it.
+    or the serving-layer drivers (``serve`` — dynamic batching QPS vs
+    latency, optionally over a sharded index; ``load`` — the open-loop
+    load harness: Poisson/bursty arrivals, heterogeneous request
+    mixes, the QPS-vs-p99 frontier and its knee) and print it.
 ``index``
     The declarative workflow (a thin wrapper over :mod:`repro.api`):
     ``index build`` constructs an index from a JSON ``IndexSpec`` (or
@@ -256,6 +258,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     "QPS",
                     "p50 ms",
                     "p99 ms",
+                    "q wait ms",
                     "mean batch",
                 ],
                 rows,
@@ -271,6 +274,80 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if line:
             print(line)
         return 0
+    if args.name == "load":
+        from .eval.harness import run_load
+        from .loadgen import parse_mix
+
+        if _backend_needs_shards(args):
+            return 2
+        report = run_load(
+            dataset_name=args.dataset,
+            n_base=args.n_base,
+            n_queries=max(args.n_queries, 32),
+            arrival=args.arrival,
+            rates=args.rates or None,
+            requests_per_point=args.requests_per_point,
+            num_shards=args.shards,
+            shard_backend=args.shard_backend,
+            replicas=args.replicas,
+            max_batch_size=args.batch_size,
+            max_wait_ms=args.wait_ms,
+            mix=parse_mix(args.mix) if args.mix else None,
+            graph_kind=args.graph,
+            seed=args.seed,
+            p99_slo_ms=args.p99_slo_ms or None,
+        )
+        rows = [
+            [
+                round(p.offered_qps, 1),
+                round(p.achieved_qps, 1),
+                round(p.latency.p50_ms, 2),
+                round(p.latency.p99_ms, 2),
+                round(p.latency.p999_ms, 2),
+                round(p.mean_queue_wait_ms, 2),
+                f"{p.completed}/{p.failed}",
+            ]
+            for p in report.points
+        ]
+        shards_desc = (
+            f"{args.shards} shards ({args.shard_backend})"
+            if args.shards > 1
+            else "unsharded"
+        )
+        print(
+            format_table(
+                [
+                    "offered QPS",
+                    "achieved QPS",
+                    "p50 ms",
+                    "p99 ms",
+                    "p999 ms",
+                    "q wait ms",
+                    "ok/fail",
+                ],
+                rows,
+                title=(
+                    f"Open-loop load ({args.dataset}, {args.arrival} "
+                    f"arrivals, {shards_desc})"
+                ),
+            )
+        )
+        print(
+            f"closed-loop capacity ~{report.capacity_qps:.1f} QPS | "
+            + (
+                f"knee ~{report.knee_qps:.1f} QPS, p99 at half-knee "
+                f"{report.p99_at_half_knee_ms:.2f} ms"
+                if report.knee_qps is not None
+                else "no sustained operating point (knee below the "
+                "lowest offered rate)"
+            )
+        )
+        print(
+            f"under-load answers bitwise-identical: {report.identical} | "
+            f"request accounting exact: {report.accounting_exact} "
+            f"({report.checked_answers} answers checked)"
+        )
+        return 0 if (report.identical and report.accounting_exact) else 1
     if args.name == "build":
         points = run_build_throughput(
             graph_kind=args.graph,
@@ -562,7 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="run a paper-artifact driver")
     p_exp.add_argument(
-        "name", choices=("table2", "fig4", "batch", "build", "serve")
+        "name", choices=("table2", "fig4", "batch", "build", "serve", "load")
     )
     p_exp.add_argument("--dataset", default="sift")
     p_exp.add_argument("--graph", choices=("hnsw", "nsg", "vamana"), default="vamana")
@@ -594,6 +671,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="'serve' experiment: workers per shard (> 1 serves through "
         "the replicated fleet)",
+    )
+    p_exp.add_argument(
+        "--arrival",
+        choices=("poisson", "uniform", "bursty"),
+        default="poisson",
+        help="'load' experiment: open-loop arrival process",
+    )
+    p_exp.add_argument(
+        "--rates",
+        type=lambda text: [float(v) for v in text.split(",")],
+        default=None,
+        help="'load' experiment: comma-separated offered QPS ladder "
+        "(default: fractions of the measured closed-loop capacity)",
+    )
+    p_exp.add_argument(
+        "--requests-per-point",
+        type=_positive_int,
+        default=128,
+        help="'load' experiment: requests offered at each rate",
+    )
+    p_exp.add_argument(
+        "--wait-ms",
+        type=float,
+        default=2.0,
+        help="'load' experiment: micro-batch deadline (max_wait_ms)",
+    )
+    p_exp.add_argument(
+        "--mix",
+        default="",
+        help="'load' experiment: request mix as name:k:beam:weight[,...] "
+        "(default: the standard/light/heavy serving blend)",
+    )
+    p_exp.add_argument(
+        "--p99-slo-ms",
+        type=float,
+        default=0.0,
+        help="'load' experiment: p99 SLO bound a knee point must also "
+        "satisfy (0 disables)",
     )
     p_exp.set_defaults(func=_cmd_experiment)
 

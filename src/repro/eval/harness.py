@@ -533,6 +533,12 @@ class ServingPoint:
     p99_ms: float
     mean_batch: float
     batches: int
+    #: Mean per-request queue wait (submit -> micro-batch dequeue) and
+    #: service time (dequeue -> kernel return), from the batcher's
+    #: per-request timestamps — how the submit-to-resolve latency
+    #: splits between queueing and the kernel.
+    mean_queue_wait_ms: float = float("nan")
+    mean_service_ms: float = float("nan")
 
     def as_row(self) -> list:
         return [
@@ -542,6 +548,7 @@ class ServingPoint:
             round(self.qps, 1),
             round(self.p50_ms, 2),
             round(self.p99_ms, 2),
+            round(self.mean_queue_wait_ms, 2),
             round(self.mean_batch, 1),
         ]
 
@@ -604,6 +611,8 @@ def measure_serving(
         p99_ms=float(np.percentile(latencies_ms, 99)),
         mean_batch=stats.mean_batch_size,
         batches=stats.batches,
+        mean_queue_wait_ms=stats.mean_queue_wait_ms,
+        mean_service_ms=stats.mean_service_ms,
     )
 
 
@@ -709,6 +718,238 @@ def serving_speedup(points: Sequence[ServingPoint]) -> float:
         raise ValueError("need both a batch_size=1 and a batched point")
     base_qps = max(p.qps for p in baseline)
     return max(p.qps for p in batched) / max(base_qps, 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Open-loop load harness (QPS-vs-p99 frontier, knee, SLO gates)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """One backend config's QPS-vs-tail-latency frontier.
+
+    ``points`` are per-offered-rate :class:`~repro.loadgen.LoadRunStats`
+    cells; ``capacity_qps`` is the closed-loop saturation throughput
+    the rate ladder was calibrated against; ``knee_qps`` is the highest
+    offered load the config sustained (``None`` when even the lowest
+    rate melted down) and ``p99_at_half_knee_ms`` the steady-state SLO
+    number measured at roughly half that load.  ``identical`` pins that
+    every answer produced *under load* matched the unloaded reference
+    bitwise; ``accounting_exact`` that every run satisfied
+    submitted == completed + failed with zero drops.
+    """
+
+    scenario: str
+    dataset: str
+    arrival: str
+    num_shards: int
+    shard_backend: str
+    replicas: int
+    max_batch_size: int
+    max_wait_ms: float
+    requests_per_point: int
+    mix: list
+    capacity_qps: float
+    points: list
+    knee_qps: Optional[float]
+    p99_at_half_knee_ms: Optional[float]
+    identical: bool
+    accounting_exact: bool
+    checked_answers: int
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "dataset": self.dataset,
+            "arrival": self.arrival,
+            "num_shards": self.num_shards,
+            "shard_backend": self.shard_backend,
+            "replicas": self.replicas,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "requests_per_point": self.requests_per_point,
+            "mix": self.mix,
+            "capacity_qps": round(self.capacity_qps, 2),
+            "points": [p.as_dict() for p in self.points],
+            "knee_qps": None
+            if self.knee_qps is None
+            else round(self.knee_qps, 2),
+            "p99_at_half_knee_ms": None
+            if self.p99_at_half_knee_ms is None
+            else round(self.p99_at_half_knee_ms, 3),
+            "bitwise_identical_under_load": self.identical,
+            "accounting_exact": self.accounting_exact,
+            "checked_answers": self.checked_answers,
+        }
+
+
+def run_load(
+    scenario: str = "memory",
+    dataset_name: str = "sift",
+    n_base: int = 2000,
+    n_queries: int = 64,
+    arrival: str = "poisson",
+    rates: Optional[Sequence[float]] = None,
+    rate_fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.5),
+    requests_per_point: int = 128,
+    num_shards: int = 1,
+    shard_backend: str = "thread",
+    replicas: int = 1,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    mix=None,
+    num_chunks: int = 8,
+    num_codewords: int = 32,
+    quantizer_name: str = "pq",
+    graph_kind: str = "vamana",
+    seed: int = 0,
+    timeout_s: float = 120.0,
+    qps_tolerance: float = 0.85,
+    p99_slo_ms: Optional[float] = None,
+    prepared: Optional[Prepared] = None,
+) -> LoadReport:
+    """Open-loop load sweep: the QPS-vs-p99 frontier of one config.
+
+    Unlike :func:`run_serving` (a closed-ish stream that submits as
+    fast as the queue accepts), this offers requests on a fixed
+    arrival schedule (``arrival``: ``poisson`` / ``uniform`` /
+    ``bursty``) that never waits for completions, with latency
+    measured from each request's *scheduled* arrival — so queueing
+    delay during overload is counted instead of coordinated-omitted.
+    Requests follow a heterogeneous ``mix`` of ``(k, beam_width)``
+    profiles served by one dynamic batcher per profile
+    (:class:`~repro.loadgen.BatcherFarm`) over a shared index built
+    with ``num_shards`` / ``shard_backend`` / ``replicas``.
+
+    The offered-rate ladder defaults to ``rate_fractions`` of a
+    measured closed-loop saturation capacity (submit everything at
+    t=0), so the sweep brackets the knee on any host; pass explicit
+    ``rates`` to pin it.  Every completed answer is verified bitwise
+    against the unloaded reference for its (query, profile).
+    """
+    from ..loadgen import (
+        BatcherFarm,
+        RequestMix,
+        find_knee,
+        make_schedule,
+        p99_at_fraction_of_knee,
+        run_open_loop,
+        summarize_run,
+        trace_schedule,
+        verify_outcomes,
+    )
+
+    if prepared is None:
+        prepared = prepare(
+            dataset_name,
+            graph_kind,
+            n_base=n_base,
+            n_queries=n_queries,
+            seed=seed,
+        )
+    mix = mix if mix is not None else RequestMix()
+    quantizer = make_quantizer(
+        quantizer_name, prepared, num_chunks, num_codewords, seed=seed
+    )
+    index = make_index(
+        scenario,
+        prepared,
+        quantizer,
+        seed=seed,
+        num_shards=num_shards,
+        shard_backend=shard_backend,
+        replicas=replicas,
+    )
+    pool = prepared.dataset.queries
+
+    def farm():
+        return BatcherFarm(
+            index,
+            mix.profiles,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+        )
+
+    try:
+        # Unloaded reference answers per profile over the whole pool —
+        # the bitwise yardstick every under-load answer is checked
+        # against (this also warms the backend: pool/worker spawn and
+        # state shipping stay out of the measured runs).
+        reference = {
+            p.name: index.search_batch(pool, k=p.k, beam_width=p.beam_width)
+            for p in mix.profiles
+        }
+
+        # Closed-loop saturation capacity: everything arrives at t=0.
+        burst = trace_schedule(np.zeros(requests_per_point))
+        with farm() as target:
+            outcomes = run_open_loop(
+                target, burst, mix, pool, seed=seed, timeout_s=timeout_s
+            )
+        burst_stats = summarize_run(burst, outcomes)
+        capacity = burst_stats.achieved_qps
+        accounting = burst_stats.accounting_exact
+        identical = True
+        checked = 0
+        try:
+            checked = verify_outcomes(outcomes, reference)
+        except AssertionError:
+            identical = False
+
+        if rates is None:
+            rates = [f * capacity for f in rate_fractions]
+
+        points = []
+        for i, rate in enumerate(rates):
+            schedule = make_schedule(
+                arrival, rate, requests_per_point, seed=seed + 17 * (i + 1)
+            )
+            with farm() as target:
+                outcomes = run_open_loop(
+                    target,
+                    schedule,
+                    mix,
+                    pool,
+                    seed=seed + 17 * (i + 1),
+                    timeout_s=timeout_s,
+                )
+            stats = summarize_run(schedule, outcomes)
+            try:
+                checked += verify_outcomes(outcomes, reference)
+            except AssertionError:
+                identical = False
+            accounting = accounting and stats.accounting_exact
+            points.append(stats)
+    finally:
+        close = getattr(index, "close", None)
+        if close is not None:
+            close()
+
+    knee = find_knee(
+        points, qps_tolerance=qps_tolerance, p99_slo_ms=p99_slo_ms
+    )
+    return LoadReport(
+        scenario=scenario,
+        dataset=prepared.dataset.name,
+        arrival=arrival,
+        num_shards=num_shards,
+        shard_backend=shard_backend,
+        replicas=replicas,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        requests_per_point=requests_per_point,
+        mix=mix.describe(),
+        capacity_qps=capacity,
+        points=points,
+        knee_qps=None if knee is None else knee.offered_qps,
+        p99_at_half_knee_ms=None
+        if knee is None
+        else p99_at_fraction_of_knee(points, knee, fraction=0.5),
+        identical=identical,
+        accounting_exact=accounting,
+        checked_answers=checked,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,71 @@
+"""Open-loop load generation with tail-latency accounting.
+
+``repro.loadgen`` is the instrument every scaling change gets measured
+on (see ``docs/architecture.md`` — "Measuring the serving layer"):
+
+* :mod:`~repro.loadgen.schedule` — Poisson / uniform / bursty /
+  trace-driven arrival schedules, fixed before the run and independent
+  of completions (the open-loop property that defeats coordinated
+  omission).
+* :mod:`~repro.loadgen.mix` — heterogeneous weighted request classes
+  (``k`` × ``beam_width``), deterministically assigned to arrival
+  slots.
+* :mod:`~repro.loadgen.runner` — the dispatcher that offers requests
+  on schedule, measures latency from *scheduled* arrival, accounts for
+  every request (submitted == completed + failed, zero drops), and
+  verifies answers bitwise against an unloaded reference;
+  :class:`BatcherFarm` adapts the serving stack (one dynamic batcher
+  per profile over a shared — possibly sharded/replicated — index);
+  :func:`find_knee` locates where the QPS-vs-p99 frontier melts down.
+* :mod:`~repro.loadgen.stats` — auditable percentile math
+  (p50/p90/p99/p999).
+
+The eval-harness entry point is :func:`repro.eval.harness.run_load`;
+the CLI surface is ``python -m repro.cli experiment load``.
+"""
+
+from .mix import DEFAULT_MIX_PROFILES, RequestMix, RequestProfile, parse_mix
+from .runner import (
+    BatcherFarm,
+    LoadRunStats,
+    RequestOutcome,
+    find_knee,
+    p99_at_fraction_of_knee,
+    run_open_loop,
+    summarize_run,
+    verify_outcomes,
+)
+from .schedule import (
+    SCHEDULE_KINDS,
+    ArrivalSchedule,
+    bursty_schedule,
+    make_schedule,
+    poisson_schedule,
+    trace_schedule,
+    uniform_schedule,
+)
+from .stats import LatencySummary, percentile
+
+__all__ = [
+    "ArrivalSchedule",
+    "BatcherFarm",
+    "DEFAULT_MIX_PROFILES",
+    "LatencySummary",
+    "LoadRunStats",
+    "RequestMix",
+    "RequestOutcome",
+    "RequestProfile",
+    "SCHEDULE_KINDS",
+    "bursty_schedule",
+    "find_knee",
+    "make_schedule",
+    "p99_at_fraction_of_knee",
+    "parse_mix",
+    "percentile",
+    "poisson_schedule",
+    "run_open_loop",
+    "summarize_run",
+    "trace_schedule",
+    "uniform_schedule",
+    "verify_outcomes",
+]

@@ -1,0 +1,110 @@
+"""Heterogeneous request mixes for the load harness.
+
+Production search traffic is not one homogeneous ``(k, beam_width)``
+stream: cheap autocomplete-style lookups share the queue with deep
+recall-heavy requests.  A :class:`RequestMix` describes that blend as
+weighted :class:`RequestProfile` classes; the assignment of profiles
+to the arrival slots of a run is deterministic under a fixed seed so
+the exact same workload can be replayed against every backend config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """One request class of the mix.
+
+    ``k`` / ``beam_width`` are the search knobs every request of this
+    class carries; ``weight`` is its relative share of the traffic.
+    """
+
+    name: str
+    k: int = 10
+    beam_width: int = 32
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        if not self.weight > 0:
+            raise ValueError("weight must be > 0")
+
+
+#: The default serving blend: mostly standard lookups, a light tail of
+#: cheap narrow requests and a heavy tail of deep wide ones.
+DEFAULT_MIX_PROFILES: Tuple[RequestProfile, ...] = (
+    RequestProfile(name="standard", k=10, beam_width=32, weight=0.6),
+    RequestProfile(name="light", k=5, beam_width=16, weight=0.25),
+    RequestProfile(name="heavy", k=10, beam_width=48, weight=0.15),
+)
+
+
+class RequestMix:
+    """A weighted set of request profiles with deterministic sampling."""
+
+    def __init__(self, profiles: Sequence[RequestProfile] = DEFAULT_MIX_PROFILES):
+        profiles = tuple(profiles)
+        if not profiles:
+            raise ValueError("a mix needs at least one profile")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate profile names in {names}")
+        self.profiles = profiles
+        weights = np.array([p.weight for p in profiles], dtype=np.float64)
+        self._probabilities = weights / weights.sum()
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def assign(self, num_requests: int, seed: int = 0) -> np.ndarray:
+        """Profile index per request slot — deterministic under seed."""
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        rng = np.random.default_rng(seed)
+        return rng.choice(
+            len(self.profiles), size=num_requests, p=self._probabilities
+        )
+
+    def describe(self) -> list:
+        """JSON-friendly summary (baseline files, CLI tables)."""
+        return [
+            {
+                "name": p.name,
+                "k": p.k,
+                "beam_width": p.beam_width,
+                "weight": float(prob),
+            }
+            for p, prob in zip(self.profiles, self._probabilities)
+        ]
+
+
+def parse_mix(text: str) -> RequestMix:
+    """Parse a CLI mix spec: ``name:k:beam_width:weight,...``.
+
+    Example: ``standard:10:32:0.6,light:5:16:0.4``.
+    """
+    profiles = []
+    for part in text.split(","):
+        fields = part.strip().split(":")
+        if len(fields) != 4:
+            raise ValueError(
+                f"bad mix entry {part!r}; expected name:k:beam_width:weight"
+            )
+        name, k, beam_width, weight = fields
+        profiles.append(
+            RequestProfile(
+                name=name,
+                k=int(k),
+                beam_width=int(beam_width),
+                weight=float(weight),
+            )
+        )
+    return RequestMix(profiles)

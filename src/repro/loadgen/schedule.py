@@ -1,0 +1,170 @@
+"""Arrival schedules for the open-loop load generator.
+
+An :class:`ArrivalSchedule` fixes *when* every request of a run is
+offered to the server, as offsets from the stream's start.  The
+schedule is decided before the run and never consults completions —
+that is what makes the harness *open-loop*: a slow server cannot slow
+the arrival process down, so queueing delay shows up in the measured
+latency instead of silently vanishing (the closed-loop "coordinated
+omission" artifact, where each stalled request conveniently stops the
+client from offering the next one).
+
+All generators are deterministic under a fixed seed, so a schedule can
+be regenerated bit-for-bit for replay or baseline comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """When each request of one load run is offered.
+
+    ``offsets_s`` are non-decreasing arrival times in seconds relative
+    to the stream start; ``rate_qps`` is the nominal offered load the
+    generator aimed for (``nan`` for explicit traces).
+    """
+
+    offsets_s: np.ndarray
+    kind: str
+    rate_qps: float = float("nan")
+    seed: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        offsets = np.asarray(self.offsets_s, dtype=np.float64)
+        if offsets.ndim != 1 or offsets.size == 0:
+            raise ValueError("offsets_s must be a non-empty 1-D array")
+        if not np.isfinite(offsets).all():
+            raise ValueError("offsets_s must be finite")
+        if (offsets < 0).any():
+            raise ValueError("offsets_s must be non-negative")
+        if (np.diff(offsets) < 0).any():
+            raise ValueError("offsets_s must be non-decreasing")
+        object.__setattr__(self, "offsets_s", offsets)
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.offsets_s.size)
+
+    @property
+    def duration_s(self) -> float:
+        """Nominal stream length: the last scheduled arrival."""
+        return float(self.offsets_s[-1])
+
+    @property
+    def mean_rate_qps(self) -> float:
+        """Empirical offered rate implied by the offsets themselves."""
+        span = self.duration_s
+        if span <= 0:
+            return float("inf")
+        return (self.num_requests - 1) / span
+
+
+def poisson_schedule(
+    rate_qps: float, num_requests: int, seed: int = 0
+) -> ArrivalSchedule:
+    """Memoryless arrivals: i.i.d. exponential inter-arrival times.
+
+    The canonical open-loop model — request n's arrival never depends
+    on anything the server did.  Deterministic under ``seed``.
+    """
+    _check_rate(rate_qps, num_requests)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_qps, size=num_requests)
+    offsets = np.cumsum(gaps)
+    offsets -= offsets[0]  # first request arrives at t=0
+    return ArrivalSchedule(
+        offsets_s=offsets, kind="poisson", rate_qps=float(rate_qps),
+        seed=seed,
+    )
+
+
+def uniform_schedule(rate_qps: float, num_requests: int) -> ArrivalSchedule:
+    """Perfectly paced arrivals: one request every ``1/rate`` seconds.
+
+    The gentlest arrival process at a given rate (zero variance);
+    useful as a lower-bound comparison against Poisson and bursty
+    schedules at the same offered load.
+    """
+    _check_rate(rate_qps, num_requests)
+    offsets = np.arange(num_requests, dtype=np.float64) / rate_qps
+    return ArrivalSchedule(
+        offsets_s=offsets, kind="uniform", rate_qps=float(rate_qps)
+    )
+
+
+def bursty_schedule(
+    rate_qps: float,
+    num_requests: int,
+    seed: int = 0,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.7,
+) -> ArrivalSchedule:
+    """Bursty arrivals: hyperexponential inter-arrival times.
+
+    Each gap is drawn at rate ``burst_factor * rate_qps`` with
+    probability ``burst_fraction`` (inside a burst) and at a
+    compensating slower rate otherwise, so the *mean* offered load is
+    exactly ``rate_qps`` while the inter-arrival variance exceeds
+    Poisson's (coefficient of variation > 1).  Tail latency under
+    bursty load is where queues actually melt down in production.
+    """
+    _check_rate(rate_qps, num_requests)
+    if burst_factor <= 1.0:
+        raise ValueError("burst_factor must be > 1")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    # Solve the slow rate so the mixture mean stays 1/rate_qps.
+    slow_share = 1.0 - burst_fraction / burst_factor
+    slow_rate = (1.0 - burst_fraction) * rate_qps / slow_share
+    rng = np.random.default_rng(seed)
+    in_burst = rng.random(num_requests) < burst_fraction
+    rates = np.where(in_burst, burst_factor * rate_qps, slow_rate)
+    gaps = rng.exponential(scale=1.0, size=num_requests) / rates
+    offsets = np.cumsum(gaps)
+    offsets -= offsets[0]
+    return ArrivalSchedule(
+        offsets_s=offsets, kind="bursty", rate_qps=float(rate_qps),
+        seed=seed,
+    )
+
+
+def trace_schedule(offsets_s: np.ndarray) -> ArrivalSchedule:
+    """Replay explicit arrival times (seconds from stream start).
+
+    For trace-driven runs: feed recorded production arrival offsets
+    and the runner reproduces their burst structure exactly.
+    """
+    schedule = ArrivalSchedule(offsets_s=offsets_s, kind="trace")
+    return schedule
+
+
+#: Registry used by the harness/CLI ``--arrival`` flag.
+SCHEDULE_KINDS = ("poisson", "uniform", "bursty")
+
+
+def make_schedule(
+    kind: str, rate_qps: float, num_requests: int, seed: int = 0
+) -> ArrivalSchedule:
+    """Build a schedule by name (``poisson`` / ``uniform`` / ``bursty``)."""
+    if kind == "poisson":
+        return poisson_schedule(rate_qps, num_requests, seed=seed)
+    if kind == "uniform":
+        return uniform_schedule(rate_qps, num_requests)
+    if kind == "bursty":
+        return bursty_schedule(rate_qps, num_requests, seed=seed)
+    raise KeyError(
+        f"unknown arrival kind {kind!r}; expected one of {SCHEDULE_KINDS}"
+    )
+
+
+def _check_rate(rate_qps: float, num_requests: int) -> None:
+    if not rate_qps > 0:
+        raise ValueError("rate_qps must be > 0")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")

@@ -1,0 +1,75 @@
+"""Latency statistics for the load harness.
+
+The percentile estimator is written out explicitly (sorted array +
+linear interpolation between closest ranks, the same definition as
+``numpy.percentile``'s default) so the harness's tail numbers are
+auditable against a reference implementation in the tests rather than
+an opaque library call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")``: rank ``r =
+    q/100 * (n-1)`` interpolated between the two closest order
+    statistics.  Raises on empty input — a percentile of nothing is a
+    bug upstream, not a number.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    xs = np.sort(np.asarray(values, dtype=np.float64))
+    if xs.size == 0:
+        raise ValueError("percentile of an empty sequence")
+    rank = (q / 100.0) * (xs.size - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    frac = rank - lo
+    return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p90/p99/p999 + mean/max of one latency population (ms)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    p999_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_values_ms(cls, values_ms: Sequence[float]) -> "LatencySummary":
+        values = np.asarray(values_ms, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot summarize an empty latency population")
+        return cls(
+            count=int(values.size),
+            mean_ms=float(values.mean()),
+            p50_ms=percentile(values, 50.0),
+            p90_ms=percentile(values, 90.0),
+            p99_ms=percentile(values, 99.0),
+            p999_ms=percentile(values, 99.9),
+            max_ms=float(values.max()),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p90_ms": round(self.p90_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "p999_ms": round(self.p999_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }

@@ -48,6 +48,9 @@ _SCALAR_TO_BATCH_COUNTER = {
 class _Request:
     query: np.ndarray
     future: Future
+    #: ``time.perf_counter()`` at ``submit()`` — the queue clock starts
+    #: here, not when the worker picks the request up.
+    enqueue_s: float = 0.0
 
 
 @dataclass
@@ -65,6 +68,13 @@ class BatcherStats:
     size_triggered: int = 0
     deadline_triggered: int = 0
     flush_triggered: int = 0
+    #: Summed per-request queue wait (submit -> batch dequeue) and
+    #: service time (dequeue -> search_batch return), in seconds —
+    #: divide by ``answered`` for the means.  Separating the two is
+    #: what lets a latency regression be attributed to queueing vs the
+    #: kernel.
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
     recent_batch_sizes: Deque[int] = field(
         default_factory=lambda: deque(maxlen=256)
     )
@@ -74,6 +84,18 @@ class BatcherStats:
         if not self.batches:
             return 0.0
         return float(self.answered / self.batches)
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        if not self.answered:
+            return 0.0
+        return 1e3 * self.queue_wait_s / self.answered
+
+    @property
+    def mean_service_ms(self) -> float:
+        if not self.answered:
+            return 0.0
+        return 1e3 * self.service_s / self.answered
 
 
 class DynamicBatcher:
@@ -149,6 +171,11 @@ class DynamicBatcher:
         """Enqueue one query; the future resolves to the scenario's
         scalar result (``batch.row(i)``) once its micro-batch runs.
 
+        The resolved row carries its queue timeline as
+        ``batcher_enqueue_s`` / ``batcher_dequeue_s`` /
+        ``batcher_complete_s`` (``time.perf_counter`` timestamps), so
+        queue wait is separable from kernel service time.
+
         Non-finite queries are rejected here, at the submitting
         caller, so a poison query can never fail the innocent
         neighbors that happen to share its micro-batch."""
@@ -159,7 +186,7 @@ class DynamicBatcher:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             self.stats.requests += 1
-            self._queue.put(_Request(query, future))
+            self._queue.put(_Request(query, future, enqueue_s=time.perf_counter()))
         return future
 
     def search(self, request: SearchRequest) -> SearchResponse:
@@ -315,6 +342,7 @@ class DynamicBatcher:
             return
         self.stats.batches += 1
         self.stats.recent_batch_sizes.append(len(live))
+        dequeue_s = time.perf_counter()
         # Everything up to the row unpacking stays inside the guard: an
         # exception anywhere (a ragged query stack, a scenario error)
         # must resolve the futures, never kill the worker loop.
@@ -332,6 +360,17 @@ class DynamicBatcher:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
+        complete_s = time.perf_counter()
         for request, row in zip(live, rows):
+            # Per-request queue timeline (perf_counter timestamps),
+            # attached to the scalar row so the latency a caller sees
+            # decomposes into queue wait (enqueue -> dequeue) vs
+            # service (dequeue -> complete).  The load harness keys on
+            # these; `search(request)` lifts them into counters.
+            row.batcher_enqueue_s = request.enqueue_s
+            row.batcher_dequeue_s = dequeue_s
+            row.batcher_complete_s = complete_s
+            self.stats.queue_wait_s += dequeue_s - request.enqueue_s
+            self.stats.service_s += complete_s - dequeue_s
             request.future.set_result(row)
         self.stats.answered += len(live)
