@@ -7,9 +7,10 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-batch test-build test-replication \
+.PHONY: test test-fast test-batch test-build test-replication test-net \
 	chaos-smoke bench-batch bench-build bench-serving bench-kernel \
-	bench-load profile-kernel smoke smoke-examples demo lint ci ci-full
+	bench-load profile-kernel smoke smoke-examples smoke-net demo \
+	lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -33,6 +34,12 @@ test-build:
 # parity matrix plus routing/failover/supervisor coverage.
 test-replication:
 	$(PYTHON) -m pytest -x -q tests/test_replication.py
+
+# Network tier: framing strictness, socket shard workers, the asyncio
+# gateway, and the full socket-vs-in-process parity matrix (the slow
+# markers cover the five-scenario subprocess matrix + SIGKILL chaos).
+test-net:
+	$(PYTHON) -m pytest -x -q tests/test_net.py
 
 # The SIGKILL-mid-load chaos gate alone (fast lane): kill a process
 # replica under traffic — zero failed requests, bitwise-identical
@@ -84,8 +91,8 @@ lint:
 		$(PYTHON) -m ruff format --check src/repro/serving \
 			tests/test_sharded.py tests/test_batcher.py \
 			tests/test_shard_backends.py \
-			tests/test_replication.py \
-			benchmarks/bench_serving.py; \
+			tests/test_replication.py tests/test_net.py \
+			benchmarks/bench_serving.py scripts/smoke_net.py; \
 	else \
 		echo "ruff not installed; skipping lint (CI installs it)"; \
 	fi
@@ -102,18 +109,25 @@ smoke-examples:
 		REPRO_SMOKE=1 $(PYTHON) $$ex; \
 	done
 
+# Network smoke: 2 `repro serve-shard` workers + the asyncio gateway
+# on localhost through the real CLI entry points — bitwise-identity
+# round trip over the wire, then SIGTERM-drains with exit 0 all round.
+smoke-net:
+	$(PYTHON) scripts/smoke_net.py
+
 # Fast lane — what CI runs on every push/PR (keep in lockstep with
 # .github/workflows/ci.yml).  chaos-smoke is nominally a subset of
 # test-fast, but naming it keeps the kill-a-replica gate explicit even
 # if the replication tests are ever re-marked.
-ci: lint test-fast chaos-smoke smoke-examples
+ci: lint test-fast chaos-smoke smoke-net smoke-examples
 
 # Full lane — nightly CI: full tier-1 plus the benchmark identity /
 # determinism checks.  Speedup gates are timing-flaky on shared
 # runners, so the nightly job sets REPRO_SKIP_SPEEDUP_GATES=1.
-# (`test` already includes the slow replica matrix; test-replication
-# re-runs it by name so a marker change can never silently drop it.)
-ci-full: lint test test-replication smoke-examples
+# (`test` already includes the slow replica and socket matrices;
+# test-replication / test-net re-run them by name so a marker change
+# can never silently drop them.)
+ci-full: lint test test-replication test-net smoke-net smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
 		bench_build.py bench_serving.py bench_kernel.py \
 		bench_load.py -q

@@ -7,7 +7,9 @@ and a sharded fan-out, plus a thread-vs-process shard-backend
 comparison on the CPU-bound memory scenario and a cache-on vs
 cache-off pass over a repeated stream for the cross-request ADC table
 cache (QPS recorded, identity asserted — the cache's timing gate lives
-in bench_kernel.py).  Every answer is bitwise
+in bench_kernel.py), and a network-path row (NetClient → asyncio
+gateway → socket shard workers; overhead recorded, identity asserted
+— the wire can slow answers, never change them).  Every answer is bitwise
 identical to a direct ``search`` call (batch composition and backend
 choice cannot change results), so the whole table is a pure
 latency/throughput trade.
@@ -83,6 +85,8 @@ CACHE_STREAM = 256
 CHAOS_SHARDS = 2
 CHAOS_REPLICAS = 2
 CHAOS_REQUESTS = 12
+NET_SHARDS = 2
+NET_REPEATS = 3
 #: Generous wall-clock budget for the supervisor's detect → respawn →
 #: verify loop — a deadline, not a timing assertion, so the gate stays
 #: deterministic on a loaded single-CPU CI box.
@@ -176,6 +180,79 @@ def run_cache_comparison(prepared, quantizer):
         "cache_on_qps": on.qps,
         "speedup": on.qps / max(off.qps, 1e-12),
         "hit_rate": cache_stats["hit_rate"],
+        "identical": identical,
+    }
+
+
+def run_network(prepared, quantizer):
+    """The network tier end to end: NetClient → asyncio gateway →
+    socket shard workers, against the same index served in-process.
+
+    The wire may add latency but can never change bytes — answers are
+    asserted bitwise identical to the in-process sharded index.  QPS
+    for both paths is recorded (no speedup gate: the network path
+    *pays* framing + TCP, it does not win; the row exists so the
+    overhead is tracked release over release).
+    """
+    import tempfile
+
+    from repro.api import SearchRequest, load_index, save_index
+    from repro.serving.net import GatewayThread, LocalShardWorker, NetClient
+
+    queries = prepared.dataset.queries
+    request = SearchRequest(queries=queries, k=10, beam_width=32)
+    index = make_index(
+        "memory", prepared, quantizer, seed=0, num_shards=NET_SHARDS
+    )
+    workers = []
+    try:
+        expected = index.search(request)
+        start = time.perf_counter()
+        for _ in range(NET_REPEATS):
+            index.search(request)
+        inproc_qps = (
+            NET_REPEATS * len(queries)
+            / max(time.perf_counter() - start, 1e-12)
+        )
+
+        with tempfile.TemporaryDirectory(prefix="bench-net-") as tmp:
+            save_index(index, tmp)
+            workers = [
+                LocalShardWorker(os.path.join(tmp, f"shard_{s:03d}"))
+                for s in range(NET_SHARDS)
+            ]
+            remote = load_index(tmp)
+            try:
+                remote.set_backend(
+                    "socket", endpoints=[w.endpoint for w in workers]
+                )
+                with GatewayThread(remote) as gw:
+                    with NetClient(gw.connect) as client:
+                        got = client.search(request)  # warm-up + identity
+                        start = time.perf_counter()
+                        for _ in range(NET_REPEATS):
+                            client.search(request)
+                        net_qps = (
+                            NET_REPEATS * len(queries)
+                            / max(time.perf_counter() - start, 1e-12)
+                        )
+            finally:
+                remote.close()
+    finally:
+        for worker in workers:
+            worker.stop()
+        index.close()
+    identical = bool(
+        np.array_equal(got.ids, expected.ids)
+        and np.array_equal(got.distances, expected.distances)
+        and np.array_equal(got.counts, expected.counts)
+    )
+    return {
+        "shards": NET_SHARDS,
+        "stream_len": NET_REPEATS * len(queries),
+        "inprocess_qps": inproc_qps,
+        "network_qps": net_qps,
+        "overhead": inproc_qps / max(net_qps, 1e-12),
         "identical": identical,
     }
 
@@ -275,6 +352,7 @@ def run():
 
     fanout = run_fanout_comparison(prepared, quantizer)
     cache = run_cache_comparison(prepared, quantizer)
+    network = run_network(prepared, quantizer)
     chaos = run_chaos(prepared, quantizer)
 
     # Determinism check: served answers equal direct search answers.
@@ -286,11 +364,11 @@ def run():
         np.array_equal(row.ids, index.search(q, k=10, beam_width=32).ids)
         for row, q in zip(served, prepared.dataset.queries)
     )
-    return points, guard_speedup, fanout, cache, chaos, identical
+    return points, guard_speedup, fanout, cache, network, chaos, identical
 
 
 def test_serving_throughput(benchmark):
-    points, guard_speedup, fanout, cache, chaos, identical = (
+    points, guard_speedup, fanout, cache, network, chaos, identical = (
         benchmark.pedantic(run, rounds=1, iterations=1)
     )
 
@@ -353,6 +431,26 @@ def test_serving_throughput(benchmark):
         f"{fmt(cache['hit_rate'] * 100, 1)}% hit rate"
     )
     blocks.append(
+        format_table(
+            ["path", "shards", "QPS"],
+            [
+                ["in-process", network["shards"],
+                 fmt(network["inprocess_qps"], 1)],
+                ["NetClient → gateway → socket workers",
+                 network["shards"], fmt(network["network_qps"], 1)],
+            ],
+            title=(
+                f"Network-path serving (sift, n={N_BASE}, stream "
+                f"{network['stream_len']})"
+            ),
+        )
+    )
+    blocks.append(
+        f"[network] in-process vs wire QPS ratio: "
+        f"{fmt(network['overhead'], 2)}x overhead, identical="
+        f"{network['identical']}"
+    )
+    blocks.append(
         f"[chaos] SIGKILL one of {chaos['shards']}x{chaos['replicas']} "
         f"replicas mid-stream: {chaos['failed_requests']} failed "
         f"request(s) / {chaos['requests']}, identical="
@@ -407,6 +505,16 @@ def test_serving_throughput(benchmark):
                 "hit_rate": round(cache["hit_rate"], 4),
                 "bitwise_identical": cache["identical"],
             },
+            "network": {
+                "shards": network["shards"],
+                "stream_len": network["stream_len"],
+                "inprocess_qps": round(network["inprocess_qps"], 1),
+                "network_qps": round(network["network_qps"], 1),
+                "inprocess_vs_network_speedup": round(
+                    network["overhead"], 2
+                ),
+                "bitwise_identical": network["identical"],
+            },
             "chaos": chaos,
         },
     )
@@ -420,6 +528,10 @@ def test_serving_throughput(benchmark):
     assert cache["identical"], (
         "table-cache-on answers diverged from cache-off answers "
         "(the cache must be bitwise-invisible)"
+    )
+    assert network["identical"], (
+        "network-path answers (NetClient → gateway → socket workers) "
+        "diverged from the in-process index"
     )
     # The chaos gate is correctness, not timing: it always runs.
     assert chaos["failed_requests"] == 0, (

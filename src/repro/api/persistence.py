@@ -115,6 +115,7 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
                     "max_workers": index._max_workers,
                     "backend": index.backend,
                     "replicas": index.replicas,
+                    "endpoints": index._endpoints,
                     "shard_scenarios": sorted(names),
                 },
             },
@@ -192,6 +193,7 @@ def load_index(dirpath: Union[str, os.PathLike]) -> object:
             max_workers=state.get("max_workers"),
             backend=state.get("backend", "thread"),
             replicas=int(state.get("replicas", 1)),
+            endpoints=state.get("endpoints"),
         )
         index._next_global = int(state["next_global"])
         _attach_spec(index, dirpath)

@@ -146,9 +146,32 @@ class SearchResponse:
         """Query ``i``'s valid distances."""
         return self.distances[i, : int(self.counts[i])]
 
+    def row(self, i: int) -> "SearchResponseRow":
+        """Query ``i`` as a single-query row (valid-prefix ids and
+        distances, per-query counter scalars) — the same shape the
+        scenario batch results' ``row(i)`` exposes, so load-harness
+        verification can compare a network answer against an
+        in-process reference uniformly."""
+        return SearchResponseRow(
+            ids=self.row_ids(i).copy(),
+            distances=self.row_distances(i).copy(),
+            counters={
+                name: values[i] for name, values in self.counters.items()
+            },
+        )
+
     def __iter__(self) -> Iterator[np.ndarray]:
         """Iterate per-query valid id arrays (recall-metric friendly)."""
         return (self.row_ids(i) for i in range(self.num_queries))
+
+
+@dataclass
+class SearchResponseRow:
+    """One query's slice of a :class:`SearchResponse`."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    counters: Dict[str, object] = field(default_factory=dict)
 
 
 @runtime_checkable

@@ -317,6 +317,18 @@ def build(
             f"unknown shard backend {spec.sharding.backend!r}; "
             f"expected one of {shard_backend_names()}"
         )
+    if spec.sharding.backend == "socket" and spec.sharding.endpoints is None:
+        raise ValueError(
+            "sharding.backend='socket' requires sharding.endpoints "
+            "(one host:port per shard)"
+        )
+    if spec.sharding.endpoints is not None and spec.sharding.backend != (
+        "socket"
+    ):
+        raise ValueError(
+            "sharding.endpoints only applies to backend='socket', not "
+            f"{spec.sharding.backend!r}"
+        )
 
     if num_shards == 1 and replicas == 1:
         if graph is None and handler.needs_graph:
@@ -403,6 +415,7 @@ def build(
         max_workers=spec.sharding.max_workers,
         backend=spec.sharding.backend,
         replicas=replicas,
+        endpoints=spec.sharding.endpoints,
     )
     index.spec = spec
     return index

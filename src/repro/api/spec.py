@@ -99,9 +99,10 @@ class ScenarioSpec:
 class ShardingSpec:
     """Fan-out layout: 1 shard means a plain unsharded index.
 
-    ``backend`` picks the shard-execution backend (``"thread"`` or
-    ``"process"`` — see :mod:`repro.serving.backends`); results are
-    bitwise identical across backends, only wall-clock changes.
+    ``backend`` picks the shard-execution backend (``"thread"``,
+    ``"process"``, or ``"socket"`` — see
+    :mod:`repro.serving.backends`); results are bitwise identical
+    across backends, only wall-clock changes.
     ``max_workers`` bounds the thread backend's pool width and is
     ignored by the process backend (one worker process per shard).
     ``replicas`` is the worker count per shard: ``1`` runs the chosen
@@ -109,6 +110,10 @@ class ShardingSpec:
     backend's worker kind (least-loaded routing, in-request failover,
     background supervisor — see :mod:`repro.serving.replication`);
     results are bitwise identical at any replica count.
+    ``endpoints`` is the ``"socket"`` backend's worker address list —
+    one ``"host:port"`` entry per shard (each entry may be a list of
+    ``replicas`` addresses); required for ``"socket"``, rejected for
+    the in-process backends.
     """
 
     num_shards: int = 1
@@ -116,6 +121,7 @@ class ShardingSpec:
     max_workers: Optional[int] = None
     backend: str = "thread"
     replicas: int = 1
+    endpoints: Optional[list] = None
 
 
 @dataclass

@@ -17,8 +17,15 @@ Commands
     The declarative workflow (a thin wrapper over :mod:`repro.api`):
     ``index build`` constructs an index from a JSON ``IndexSpec`` (or
     flags) and persists it with ``save_index``; ``index search`` loads
-    a saved directory and serves typed requests against it;
+    a saved directory and serves typed requests against it (or, with
+    ``--connect HOST:PORT``, sends them to a running gateway);
     ``index describe`` prints a saved directory's metadata.
+``serve-shard``
+    Boot a network shard worker from a persisted index directory and
+    answer the versioned wire protocol over TCP until SIGTERM/SIGINT
+    (draining in-flight requests before exit).  The serving side of
+    the ``"socket"`` shard backend — see ``docs/architecture.md``,
+    "Network tier".
 """
 
 from __future__ import annotations
@@ -42,6 +49,25 @@ def _backend_needs_shards(args: argparse.Namespace) -> bool:
         )
         return True
     return False
+
+
+def _parse_endpoints(text: str) -> Optional[List[str]]:
+    """``"host:1,host:2"`` -> ``["host:1", "host:2"]`` (``None`` when
+    empty)."""
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_serve_shard(args: argparse.Namespace) -> int:
+    from .serving.net import serve_shard
+
+    return serve_shard(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        ready_file=args.ready_file or None,
+    )
 
 
 def _cmd_profiles(args: argparse.Namespace) -> int:
@@ -229,6 +255,73 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         serving_speedup,
     )
 
+    if args.name == "serve" and args.listen:
+        # Gateway mode: stand up the asyncio network front end over an
+        # index (saved directory, or built fresh from the flags) and
+        # serve the wire protocol until SIGTERM/SIGINT.
+        if _backend_needs_shards(args):
+            return 2
+        from .serving.net import parse_listen, run_gateway_blocking
+
+        try:
+            host, port = parse_listen(args.listen)
+        except (ValueError, IndexError):
+            print(
+                f"--listen expects HOST:PORT or :PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.dir:
+            from .api import load_index
+
+            index = load_index(args.dir)
+            endpoints = _parse_endpoints(args.endpoints)
+            if endpoints is not None:
+                from .serving import ShardedIndex
+
+                if not isinstance(index, ShardedIndex):
+                    print(
+                        f"{args.dir} holds an unsharded index; "
+                        "--endpoints applies to sharded indexes only",
+                        file=sys.stderr,
+                    )
+                    return 2
+                index.set_backend("socket", endpoints=endpoints)
+        else:
+            from .eval.harness import make_index, make_quantizer, prepare
+
+            prepared = prepare(
+                args.dataset,
+                args.graph,
+                n_base=args.n_base,
+                n_queries=max(args.n_queries, 32),
+                seed=args.seed,
+            )
+            quantizer = make_quantizer("pq", prepared, 8, 32, seed=args.seed)
+            index = make_index(
+                "memory",
+                prepared,
+                quantizer,
+                seed=args.seed,
+                num_shards=args.shards,
+                shard_backend=args.shard_backend,
+                replicas=args.replicas,
+            )
+        try:
+            return run_gateway_blocking(
+                index,
+                host=host,
+                port=port,
+                ready_callback=lambda h, p: print(
+                    f"gateway listening on {h}:{p}", flush=True
+                ),
+                max_batch_size=args.batch_size,
+                max_wait_ms=args.wait_ms,
+            )
+        finally:
+            close = getattr(index, "close", None)
+            if close is not None:
+                close()
     if args.name == "serve":
         if _backend_needs_shards(args):
             return 2
@@ -296,6 +389,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             graph_kind=args.graph,
             seed=args.seed,
             p99_slo_ms=args.p99_slo_ms or None,
+            connect=args.connect or None,
+            trace=args.trace or None,
         )
         rows = [
             [
@@ -309,11 +404,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ]
             for p in report.points
         ]
-        shards_desc = (
-            f"{args.shards} shards ({args.shard_backend})"
-            if args.shards > 1
-            else "unsharded"
-        )
+        if args.connect:
+            shards_desc = f"gateway {args.connect}"
+        elif args.shards > 1:
+            shards_desc = f"{args.shards} shards ({args.shard_backend})"
+        else:
+            shards_desc = "unsharded"
         print(
             format_table(
                 [
@@ -327,7 +423,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 ],
                 rows,
                 title=(
-                    f"Open-loop load ({args.dataset}, {args.arrival} "
+                    f"Open-loop load ({args.dataset}, {report.arrival} "
                     f"arrivals, {shards_desc})"
                 ),
             )
@@ -502,6 +598,38 @@ def _cmd_index(args: argparse.Namespace) -> int:
         from .metrics import recall_at_k
         from .serving import ShardedIndex
 
+        if bool(args.dir) == bool(args.connect):
+            print(
+                "index search needs exactly one of --dir (local) or "
+                "--connect HOST:PORT (a running gateway)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.connect:
+            # Remote mode: the gateway owns the index; queries come
+            # from the dataset flags (which must match the recipe the
+            # server's index was built from for recall to mean much).
+            from .serving.net import NetClient
+
+            data = load(
+                args.dataset,
+                n_base=args.n_base,
+                n_queries=args.n_queries,
+                seed=args.seed,
+            )
+            request = SearchRequest(
+                queries=data.queries, k=args.k, beam_width=args.beam
+            )
+            with NetClient(args.connect) as client:
+                response = client.search(request)
+            gt = compute_ground_truth(data.base, data.queries, k=args.k)
+            recall = recall_at_k(list(response), gt.ids)
+            print(
+                f"{response.num_queries} queries | "
+                f"mean hops {float(np.mean(response.hops)):.1f} | "
+                f"recall@{args.k} {recall:.3f}"
+            )
+            return 0
         index = load_index(args.dir)
         if args.shard_backend:
             if not isinstance(index, ShardedIndex):
@@ -511,7 +639,19 @@ def _cmd_index(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-            index.set_backend(args.shard_backend)
+            if args.shard_backend == "socket":
+                endpoints = _parse_endpoints(args.endpoints)
+                if endpoints is None:
+                    print(
+                        "--shard-backend socket requires --endpoints "
+                        "HOST:PORT[,HOST:PORT...] (one per shard, "
+                        "each a running `repro serve-shard`)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                index.set_backend("socket", endpoints=endpoints)
+            else:
+                index.set_backend(args.shard_backend)
         if args.replicas:
             if not isinstance(index, ShardedIndex):
                 print(
@@ -710,7 +850,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="'load' experiment: p99 SLO bound a knee point must also "
         "satisfy (0 disables)",
     )
+    p_exp.add_argument(
+        "--listen",
+        default="",
+        help="'serve' experiment: instead of the benchmark sweep, start "
+        "the asyncio gateway on HOST:PORT (or :PORT) and serve the wire "
+        "protocol until SIGTERM/SIGINT",
+    )
+    p_exp.add_argument(
+        "--dir",
+        default="",
+        help="'serve --listen': serve this saved index directory "
+        "(default: build a fresh memory index from the flags)",
+    )
+    p_exp.add_argument(
+        "--endpoints",
+        default="",
+        help="'serve --listen --dir': switch a saved sharded index onto "
+        "the socket backend fanning out to these HOST:PORT workers "
+        "(comma-separated, one per shard)",
+    )
+    p_exp.add_argument(
+        "--connect",
+        default="",
+        help="'load' experiment: drive a running gateway at HOST:PORT "
+        "over the network path instead of building an index in-process",
+    )
+    p_exp.add_argument(
+        "--trace",
+        default="",
+        help="'load' experiment: replay this arrival-trace file (one "
+        "offset-seconds per line) as the single measured point instead "
+        "of sweeping the rate ladder",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_shard = sub.add_parser(
+        "serve-shard",
+        help="serve a saved index directory over TCP (the socket shard "
+        "backend's worker side)",
+    )
+    p_shard.add_argument("--dir", required=True, help="index directory")
+    p_shard.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    p_shard.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (0 picks a free port; the chosen port is "
+        "printed as 'listening on HOST:PORT')",
+    )
+    p_shard.add_argument(
+        "--ready-file",
+        default="",
+        help="also write the bound HOST:PORT to this file once "
+        "listening (for scripted orchestration)",
+    )
+    p_shard.set_defaults(func=_cmd_serve_shard)
 
     p_index = sub.add_parser(
         "index", help="declarative build / persist / serve workflow"
@@ -755,7 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_search = index_sub.add_parser(
         "search", help="load a saved index and serve its spec'd queries"
     )
-    p_search.add_argument("--dir", required=True, help="index directory")
+    p_search.add_argument("--dir", default="", help="index directory")
+    p_search.add_argument(
+        "--connect",
+        default="",
+        help="send the queries to a running gateway at HOST:PORT "
+        "instead of loading --dir locally",
+    )
     p_search.add_argument("--k", type=_positive_int, default=10)
     p_search.add_argument("--beam", type=_positive_int, default=32)
     p_search.add_argument(
@@ -766,11 +969,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument(
         "--shard-backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "socket"),
         default="",
         help="sharded indexes: override the saved fan-out backend "
-        "(default: keep whatever the directory recorded)",
+        "(default: keep whatever the directory recorded); 'socket' "
+        "also needs --endpoints",
     )
+    p_search.add_argument(
+        "--endpoints",
+        default="",
+        help="socket backend: comma-separated HOST:PORT worker "
+        "endpoints, one per shard (each a running `repro serve-shard` "
+        "over that shard's directory)",
+    )
+    p_search.add_argument(
+        "--dataset",
+        default="sift",
+        help="--connect mode: dataset profile the queries come from",
+    )
+    p_search.add_argument("--n-base", type=int, default=800)
+    p_search.add_argument("--n-queries", type=int, default=20)
+    p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument(
         "--replicas",
         type=_positive_int,

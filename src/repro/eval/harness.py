@@ -757,10 +757,12 @@ class LoadReport:
     identical: bool
     accounting_exact: bool
     checked_answers: int
+    connect: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
             "scenario": self.scenario,
+            "connect": self.connect,
             "dataset": self.dataset,
             "arrival": self.arrival,
             "num_shards": self.num_shards,
@@ -808,6 +810,8 @@ def run_load(
     qps_tolerance: float = 0.85,
     p99_slo_ms: Optional[float] = None,
     prepared: Optional[Prepared] = None,
+    connect: Optional[str] = None,
+    trace: Optional[object] = None,
 ) -> LoadReport:
     """Open-loop load sweep: the QPS-vs-p99 frontier of one config.
 
@@ -827,11 +831,26 @@ def run_load(
     t=0), so the sweep brackets the knee on any host; pass explicit
     ``rates`` to pin it.  Every completed answer is verified bitwise
     against the unloaded reference for its (query, profile).
+
+    Two network-era extensions (PR 9):
+
+    * ``connect="host:port"`` points the harness at a live gateway
+      instead of building an index in-process — the target becomes a
+      :class:`~repro.loadgen.NetTarget` over one blocking
+      :class:`~repro.serving.net.NetClient`, and the unloaded
+      reference is taken from the *same* gateway before load starts,
+      so the bitwise check still pins under-load == unloaded.
+    * ``trace`` (a path or an :class:`~repro.loadgen.ArrivalSchedule`)
+      replays an explicit arrival trace as the single measured point
+      instead of sweeping the rate ladder.
     """
     from ..loadgen import (
+        ArrivalSchedule,
         BatcherFarm,
+        NetTarget,
         RequestMix,
         find_knee,
+        load_trace,
         make_schedule,
         p99_at_fraction_of_knee,
         run_open_loop,
@@ -839,6 +858,12 @@ def run_load(
         trace_schedule,
         verify_outcomes,
     )
+
+    if trace is not None:
+        if not isinstance(trace, ArrivalSchedule):
+            trace = load_trace(trace)
+        arrival = "trace"
+        requests_per_point = trace.num_requests
 
     if prepared is None:
         prepared = prepare(
@@ -849,21 +874,33 @@ def run_load(
             seed=seed,
         )
     mix = mix if mix is not None else RequestMix()
-    quantizer = make_quantizer(
-        quantizer_name, prepared, num_chunks, num_codewords, seed=seed
-    )
-    index = make_index(
-        scenario,
-        prepared,
-        quantizer,
-        seed=seed,
-        num_shards=num_shards,
-        shard_backend=shard_backend,
-        replicas=replicas,
-    )
+    client = None
+    if connect is not None:
+        from ..serving.net import NetClient
+
+        # The remote gateway owns the index; the harness only needs a
+        # query pool drawn from the same deterministic dataset recipe.
+        client = NetClient(connect)
+        index = None
+        shard_backend = "net"
+    else:
+        quantizer = make_quantizer(
+            quantizer_name, prepared, num_chunks, num_codewords, seed=seed
+        )
+        index = make_index(
+            scenario,
+            prepared,
+            quantizer,
+            seed=seed,
+            num_shards=num_shards,
+            shard_backend=shard_backend,
+            replicas=replicas,
+        )
     pool = prepared.dataset.queries
 
     def farm():
+        if client is not None:
+            return NetTarget(client)
         return BatcherFarm(
             index,
             mix.profiles,
@@ -876,10 +913,24 @@ def run_load(
         # the bitwise yardstick every under-load answer is checked
         # against (this also warms the backend: pool/worker spawn and
         # state shipping stay out of the measured runs).
-        reference = {
-            p.name: index.search_batch(pool, k=p.k, beam_width=p.beam_width)
-            for p in mix.profiles
-        }
+        if client is not None:
+            from ..api.protocol import SearchRequest
+
+            reference = {
+                p.name: client.search(
+                    SearchRequest(
+                        queries=pool, k=p.k, beam_width=p.beam_width
+                    )
+                )
+                for p in mix.profiles
+            }
+        else:
+            reference = {
+                p.name: index.search_batch(
+                    pool, k=p.k, beam_width=p.beam_width
+                )
+                for p in mix.profiles
+            }
 
         # Closed-loop saturation capacity: everything arrives at t=0.
         burst = trace_schedule(np.zeros(requests_per_point))
@@ -897,14 +948,21 @@ def run_load(
         except AssertionError:
             identical = False
 
-        if rates is None:
-            rates = [f * capacity for f in rate_fractions]
+        if trace is not None:
+            schedules = [trace]
+        else:
+            if rates is None:
+                rates = [f * capacity for f in rate_fractions]
+            schedules = [
+                make_schedule(
+                    arrival, rate, requests_per_point,
+                    seed=seed + 17 * (i + 1),
+                )
+                for i, rate in enumerate(rates)
+            ]
 
         points = []
-        for i, rate in enumerate(rates):
-            schedule = make_schedule(
-                arrival, rate, requests_per_point, seed=seed + 17 * (i + 1)
-            )
+        for i, schedule in enumerate(schedules):
             with farm() as target:
                 outcomes = run_open_loop(
                     target,
@@ -922,6 +980,8 @@ def run_load(
             accounting = accounting and stats.accounting_exact
             points.append(stats)
     finally:
+        if client is not None:
+            client.close()
         close = getattr(index, "close", None)
         if close is not None:
             close()
@@ -949,6 +1009,7 @@ def run_load(
         identical=identical,
         accounting_exact=accounting,
         checked_answers=checked,
+        connect=connect,
     )
 
 

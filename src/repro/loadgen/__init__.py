@@ -28,6 +28,7 @@ from .mix import DEFAULT_MIX_PROFILES, RequestMix, RequestProfile, parse_mix
 from .runner import (
     BatcherFarm,
     LoadRunStats,
+    NetTarget,
     RequestOutcome,
     find_knee,
     p99_at_fraction_of_knee,
@@ -39,8 +40,10 @@ from .schedule import (
     SCHEDULE_KINDS,
     ArrivalSchedule,
     bursty_schedule,
+    load_trace,
     make_schedule,
     poisson_schedule,
+    save_trace,
     trace_schedule,
     uniform_schedule,
 )
@@ -52,18 +55,21 @@ __all__ = [
     "DEFAULT_MIX_PROFILES",
     "LatencySummary",
     "LoadRunStats",
+    "NetTarget",
     "RequestMix",
     "RequestOutcome",
     "RequestProfile",
     "SCHEDULE_KINDS",
     "bursty_schedule",
     "find_knee",
+    "load_trace",
     "make_schedule",
     "p99_at_fraction_of_knee",
     "parse_mix",
     "percentile",
     "poisson_schedule",
     "run_open_loop",
+    "save_trace",
     "summarize_run",
     "trace_schedule",
     "uniform_schedule",

@@ -116,6 +116,52 @@ class BatcherFarm:
         self.close(flush=exc[0] is None)
 
 
+class NetTarget:
+    """A remote gateway as a load target, over one ``NetClient``.
+
+    Each submitted query becomes a single-row
+    :class:`~repro.api.protocol.SearchRequest` at the profile's ``(k,
+    beam_width)``; the returned future resolves to the response's
+    ``row(0)`` so outcomes carry the same valid-prefix row shape the
+    in-process targets produce and :func:`verify_outcomes` applies
+    unchanged.  Queue-wait/service splits are server-side and not
+    visible over the wire, so those summary columns come back ``nan``.
+    """
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def submit(self, query: np.ndarray, profile: RequestProfile) -> Future:
+        from ..api.protocol import SearchRequest
+
+        request = SearchRequest(
+            queries=np.atleast_2d(np.asarray(query, dtype=np.float64)),
+            k=profile.k,
+            beam_width=profile.beam_width,
+        )
+        inner = self.client.submit_request(request)
+        future: Future = Future()
+
+        def _chain(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(done.result().row(0))
+
+        inner.add_done_callback(_chain)
+        return future
+
+    def close(self, flush: bool = True) -> dict:
+        return {}
+
+    def __enter__(self) -> "NetTarget":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def run_open_loop(
     target,
     schedule: ArrivalSchedule,

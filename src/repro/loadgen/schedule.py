@@ -144,6 +144,53 @@ def trace_schedule(offsets_s: np.ndarray) -> ArrivalSchedule:
     return schedule
 
 
+def save_trace(path, schedule_or_offsets) -> str:
+    """Write arrival offsets to a trace file (one float per line).
+
+    The format is deliberately trivial — ``#`` comment lines, blank
+    lines, then one offset-in-seconds per line — so production traces
+    can be produced by anything that can print numbers.
+    """
+    import os
+
+    if isinstance(schedule_or_offsets, ArrivalSchedule):
+        offsets = schedule_or_offsets.offsets_s
+    else:
+        offsets = np.asarray(schedule_or_offsets, dtype=np.float64)
+    # Validate before writing: a saved trace must always load back.
+    ArrivalSchedule(offsets_s=offsets, kind="trace")
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# arrival trace: one offset (seconds from stream "
+                 "start) per line\n")
+        for offset in offsets:
+            fh.write(f"{float(offset):.9f}\n")
+    return path
+
+
+def load_trace(path) -> ArrivalSchedule:
+    """Read a trace file written by :func:`save_trace` (or by hand)
+    into a replayable :func:`trace_schedule`."""
+    import os
+
+    offsets = []
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                offsets.append(float(text))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: {text!r} is not a float offset"
+                ) from None
+    if not offsets:
+        raise ValueError(f"trace file {path} contains no offsets")
+    return trace_schedule(np.asarray(offsets, dtype=np.float64))
+
+
 #: Registry used by the harness/CLI ``--arrival`` flag.
 SCHEDULE_KINDS = ("poisson", "uniform", "bursty")
 

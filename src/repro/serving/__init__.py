@@ -24,7 +24,10 @@ This package turns the library into the shape of a server (see
 
 Both compose: a batcher over a sharded index is the classic
 DiskANN-server architecture — queue → batcher → sharded fan-out →
-merge.
+merge.  The :mod:`repro.serving.net` subpackage puts the network edge
+on top: a versioned binary wire protocol shared with the pipe workers,
+``repro serve-shard`` TCP workers behind a ``"socket"`` backend, and
+the asyncio gateway (``experiment serve --listen``).
 """
 
 from .backends import (
@@ -40,7 +43,17 @@ from .batcher import BatcherStats, DynamicBatcher
 from .replication import ReplicatedBackend
 from .sharded import ShardedIndex, partition_rows
 
+# Imported last: registers the "socket" backend into SHARD_BACKENDS
+# (net modules depend on the ones above).
+from . import net  # noqa: E402
+from .net import Gateway, GatewayThread, NetClient, SocketBackend
+
 __all__ = [
+    "Gateway",
+    "GatewayThread",
+    "NetClient",
+    "SocketBackend",
+    "net",
     "BatcherStats",
     "DynamicBatcher",
     "ProcessBackend",

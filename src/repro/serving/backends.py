@@ -17,10 +17,17 @@ global-id mapping, and the write-path routing; *where* the per-shard
   one GIL per worker the whole search runs in parallel, not just the
   NumPy-released slices.
 
+* ``"socket"`` (:class:`repro.serving.net.backend.SocketBackend`) —
+  remote workers reached over TCP at configured ``host:port``
+  endpoints (started with ``repro serve-shard``); registered by
+  :mod:`repro.serving.net` into the same :data:`SHARD_BACKENDS` seam.
+
 Results are bitwise identical across backends: the persistence layer
 round-trips every array exactly (``tests/test_api_persistence``), the
-engine is deterministic, and pickling float64/int64 arrays over the
-pipe is exact — so the backend choice is purely a wall-clock decision.
+engine is deterministic, and both the pipe and socket transports carry
+float64/int64 arrays as raw bytes via the shared frame codec
+(:mod:`repro.serving.net.framing` — the single protocol definition
+repo-wide) — so the backend choice is purely a wall-clock decision.
 
 For the streaming scenario, writes keep landing on the parent's
 in-process shard objects (the router's insert/delete path is
@@ -192,44 +199,58 @@ def _shard_worker_main(dirpath: str, conn) -> None:
     """Entry point of one persistent shard worker process.
 
     Loads the shard once, acknowledges readiness, then serves
-    ``("search", queries, k, beam_width, kwargs)`` requests until a
-    ``("stop",)`` message (or a closed pipe) ends the loop.  Every
-    reply is ``(status, payload)`` so the parent can re-raise worker
-    exceptions without losing pipe framing.
+    frame-coded ``search`` messages until a ``stop`` message (or a
+    closed pipe) ends the loop.  Requests and replies are whole
+    :mod:`repro.serving.net.framing` message buffers carried by
+    ``Connection.send_bytes``/``recv_bytes`` — the exact bytes a socket
+    worker would put on a TCP stream, so the pipe and socket transports
+    share one protocol definition.  Every error ships as an explicit
+    error message so the parent can re-raise worker exceptions without
+    losing framing.
     """
+    from .net import framing
+
     try:
         from repro.api import load_index
 
         index = load_index(dirpath)
-        conn.send(("ready", None))
+        conn.send_bytes(framing.encode_message("ready"))
     except BaseException as exc:  # surface load failures to the parent
         _send_error(conn, exc)
         return
     while True:
         try:
-            message = conn.recv()
+            blob = conn.recv_bytes()
         except EOFError:
             return
-        command = message[0]
-        if command == "stop":
+        try:
+            message = framing.decode_message(blob)
+        except framing.ProtocolError as exc:
+            _send_error(conn, exc)
+            continue
+        if message.kind == "stop":
             return
         try:
-            if command == "reload":
+            if message.kind == "reload":
                 index = load_index(dirpath)
-                conn.send(("ready", None))
-            elif command == "ping":
+                conn.send_bytes(framing.encode_message("ready"))
+            elif message.kind == "ping":
                 # Health probe: proves the worker loop is responsive
                 # (not just that the process exists), used by the
                 # replication supervisor's detect->respawn->verify pass.
-                conn.send(("ok", "pong"))
-            elif command == "search":
-                _, queries, k, beam_width, kwargs = message
+                conn.send_bytes(framing.encode_message("pong"))
+            elif message.kind == "search":
+                queries, k, beam_width, kwargs = framing.decode_search(
+                    message
+                )
                 result = index.search_batch(
                     queries, k=k, beam_width=beam_width, **kwargs
                 )
-                conn.send(("ok", result))
+                conn.send_bytes(framing.encode_result(result))
             else:
-                raise ValueError(f"unknown worker command {command!r}")
+                raise ValueError(
+                    f"unknown worker command {message.kind!r}"
+                )
         except BaseException as exc:
             _send_error(conn, exc)
 
@@ -261,37 +282,44 @@ def _raise_worker_error(payload: BaseException) -> None:
 
 
 def _send_error(conn, exc: BaseException) -> None:
-    """Ship ``exc`` (plus its formatted traceback) to the parent.
+    """Ship ``exc`` (plus its formatted traceback) as an error frame.
 
-    Never raises: an unpicklable exception degrades to its repr, and a
-    closed pipe during error reporting is swallowed — the original
-    exception must stay the story (the parent sees EOF and reports the
-    worker death), not a secondary ``BrokenPipeError`` masking it.
+    Never raises: an exception whose ``str``/``repr`` itself fails
+    degrades to a plain ``RuntimeError`` carrying whatever could be
+    rendered, and a closed pipe during error reporting is swallowed —
+    the original exception must stay the story (the parent sees EOF
+    and reports the worker death), not a secondary ``BrokenPipeError``
+    masking it.
     """
+    from .net import framing
+
     tb = traceback.format_exc()
     try:
-        exc.remote_traceback = tb
+        blob = framing.encode_error(exc, tb)
     except Exception:
-        pass  # exotic exceptions may reject attributes; send bare
-    try:
-        conn.send(("error", exc))
-    except Exception:
-        # Unpicklable exception: degrade to its repr.
-        fallback = RuntimeError(repr(exc))
-        fallback.remote_traceback = tb
+        # An exception that cannot even be rendered: degrade to a
+        # plain carrier with as much identity as repr() allows.
         try:
-            conn.send(("error", fallback))
+            rendered = repr(exc)
         except Exception:
-            pass  # pipe closed mid-report: nothing more to do
+            rendered = f"<unprintable {type(exc).__name__}>"
+        blob = framing.encode_error(RuntimeError(rendered), tb)
+    try:
+        conn.send_bytes(blob)
+    except Exception:
+        pass  # pipe closed mid-report: nothing more to do
 
 
 def _shutdown_workers(procs, conns, tmpdir: str) -> None:
     """Stop worker processes and remove the shipped state (GC-safe:
     takes no backend reference)."""
+    from .net import framing
+
+    stop_blob = framing.encode_message("stop")
     for conn in conns:
         try:
-            conn.send(("stop",))
-        except (BrokenPipeError, OSError):
+            conn.send_bytes(stop_blob)
+        except (BrokenPipeError, OSError, ValueError):
             pass
     for proc in procs:
         proc.join(timeout=5)
@@ -385,17 +413,21 @@ class ProcessBackend(ShardBackend):
         self._dirty.clear()
 
     def _expect(self, shard: int, expected: str):
+        from .net import framing
+
         try:
-            status, payload = self._conns[shard].recv()
+            kind, payload = framing.decode_reply(
+                self._conns[shard].recv_bytes()
+            )
         except EOFError:
             raise RuntimeError(
                 f"shard worker {shard} exited unexpectedly"
             ) from None
-        if status == "error":
+        if kind == "error":
             _raise_worker_error(payload)
-        if status != expected:
+        if kind != expected:
             raise RuntimeError(
-                f"shard worker {shard} answered {status!r}, "
+                f"shard worker {shard} answered {kind!r}, "
                 f"expected {expected!r}"
             )
         return payload
@@ -405,11 +437,13 @@ class ProcessBackend(ShardBackend):
             return
         from ..api import save_index
 
+        from .net import framing
+
         dirty = sorted(self._dirty)
         try:
             for s in dirty:
                 save_index(self._shards[s], self._dirs[s])
-                self._conns[s].send(("reload",))
+                self._conns[s].send_bytes(framing.encode_message("reload"))
             for s in dirty:
                 self._expect(s, "ready")
         except BaseException:
@@ -434,15 +468,23 @@ class ProcessBackend(ShardBackend):
     def search_all(
         self, queries, k: int, beam_width: int, kwargs: dict
     ) -> List[object]:
+        from .net import framing
+
         with self._lock:
             self._ensure_workers()
             try:
+                request = framing.encode_search(
+                    queries, k, beam_width, kwargs
+                )
                 for conn in self._conns:
-                    conn.send(("search", queries, k, beam_width, kwargs))
+                    conn.send_bytes(request)
                 # Collect every reply before raising so the pipes stay
                 # framed (a failed shard must not leave siblings'
                 # results unread).
-                outcomes = [conn.recv() for conn in self._conns]
+                outcomes = [
+                    framing.decode_reply(conn.recv_bytes())
+                    for conn in self._conns
+                ]
             except (EOFError, OSError) as exc:
                 # A dead worker (OOM kill, crash) wedges its pipe for
                 # good; tear the whole backend down so the next search
@@ -459,8 +501,8 @@ class ProcessBackend(ShardBackend):
                 # consume them as its own.  Reset rather than desync.
                 self.close()
                 raise
-        for status, payload in outcomes:
-            if status == "error":
+        for kind, payload in outcomes:
+            if kind == "error":
                 _raise_worker_error(payload)
         return [payload for _, payload in outcomes]
 
@@ -483,6 +525,7 @@ def make_shard_backend(
     shards: Sequence[object],
     max_workers: Optional[int] = None,
     replicas: int = 1,
+    endpoints: Optional[Sequence] = None,
 ) -> ShardBackend:
     """Construct the named backend over ``shards``.
 
@@ -491,6 +534,11 @@ def make_shard_backend(
     becomes the *inner* backend each replica runs as, and shard calls
     route to the least-loaded healthy replica with in-request failover
     (see :mod:`repro.serving.replication`).
+
+    ``endpoints`` is the ``"socket"`` backend's worker address list —
+    one ``"host:port"`` (or, with replicas, a list of them) per shard;
+    it is required for ``"socket"`` and rejected for every other
+    backend.
     """
     try:
         backend_cls = SHARD_BACKENDS[name]
@@ -501,6 +549,15 @@ def make_shard_backend(
         ) from None
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    if name == "socket" and endpoints is None:
+        raise ValueError(
+            "the 'socket' backend requires endpoints "
+            "(one host:port per shard)"
+        )
+    if endpoints is not None and name != "socket":
+        raise ValueError(
+            f"endpoints only apply to the 'socket' backend, not {name!r}"
+        )
     if replicas > 1:
         from .replication import ReplicatedBackend
 
@@ -509,5 +566,10 @@ def make_shard_backend(
             max_workers=max_workers,
             replicas=replicas,
             inner=name,
+            endpoints=endpoints,
+        )
+    if name == "socket":
+        return backend_cls(
+            shards, max_workers=max_workers, endpoints=endpoints
         )
     return backend_cls(shards, max_workers=max_workers)

@@ -1,0 +1,727 @@
+"""The wire protocol: length-prefixed, versioned binary framing.
+
+This module is the *single* protocol definition for every transport in
+the repo — the socket shard workers, the asyncio gateway, and the
+process backend's pipes all speak it (see ``docs/architecture.md``,
+"Network tier").
+
+Frame layout (all integers big-endian)::
+
+    +-------+---------+----------+----------+-------------+---------+
+    | magic | version | msg type | reserved | payload len | payload |
+    | 4 B   | 1 B     | 1 B      | 2 B      | 4 B         | ...     |
+    +-------+---------+----------+----------+-------------+---------+
+
+Two frame types exist: ``MSG_JSON`` (a UTF-8 JSON object) and
+``MSG_NDARRAY`` (a raw C-order array block: dtype string + shape +
+bytes), so hot arrays — queries, ids, distances — never round-trip
+through JSON floats and decode bitwise.
+
+A logical *message* is one JSON header frame ::
+
+    {"kind": "...", "meta": {...}, "arrays": ["name", ...]}
+
+followed by exactly ``len(arrays)`` ndarray frames, in order.  Error
+messages (``kind="error"``) carry the worker-side exception type,
+message, and formatted ``remote_traceback`` so remote failures re-raise
+with their real frames attached (the ``concurrent.futures`` idiom the
+pipe backend already used).
+
+Strictness rules, enforced on every decode path:
+
+* bad magic or an unknown version → :class:`ProtocolError`
+  (never a silent resync attempt);
+* a declared payload length above ``max_frame_bytes`` →
+  :class:`ProtocolError` *before* any allocation;
+* a stream that ends mid-frame → :class:`FrameTruncated`;
+* a stream that ends cleanly *between* messages →
+  :class:`ConnectionClosed` (the one non-error way a peer leaves).
+"""
+
+from __future__ import annotations
+
+import builtins
+import dataclasses
+import importlib
+import json
+import struct
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: First bytes of every frame; anything else on the wire is not ours.
+MAGIC = b"RPQN"
+PROTOCOL_VERSION = 1
+
+MSG_JSON = 1
+MSG_NDARRAY = 2
+_MSG_TYPES = (MSG_JSON, MSG_NDARRAY)
+
+_HEADER = struct.Struct(">4sBBHI")
+HEADER_SIZE = _HEADER.size
+
+#: Default per-frame payload cap.  Large enough for any realistic
+#: query/result block at this repo's scale, small enough that a
+#: corrupted or hostile length field cannot trigger a giant allocation.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The peer sent something that is not valid protocol: bad magic,
+    unknown version/msg type, an oversized payload, or a malformed
+    payload body.  Connections that see this must be torn down — the
+    stream cannot be re-framed."""
+
+
+class FrameTruncated(ProtocolError):
+    """The stream ended mid-frame (short read inside a header or
+    payload) — distinct from a clean close between messages."""
+
+
+class ConnectionClosed(EOFError):
+    """The peer closed the connection at a message boundary."""
+
+
+class RemoteWorkerError(RuntimeError):
+    """Stand-in raised when a remote error's original exception type
+    cannot be reconstructed locally (unknown module, exotic ctor)."""
+
+
+# ----------------------------------------------------------------------
+# Frame layer
+# ----------------------------------------------------------------------
+
+
+def encode_frame(
+    msg_type: int,
+    payload: bytes,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """One complete frame: header + payload."""
+    if msg_type not in _MSG_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame cap"
+        )
+    return (
+        _HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type, 0, len(payload))
+        + payload
+    )
+
+
+def parse_header(
+    header: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, int]:
+    """Validate a raw header; returns ``(msg_type, payload_len)``.
+
+    The length check runs *here*, before the caller allocates or reads
+    a single payload byte.
+    """
+    if len(header) != HEADER_SIZE:
+        raise FrameTruncated(
+            f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    magic, version, msg_type, _reserved, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); "
+            "the peer is not speaking this protocol"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this build speaks {PROTOCOL_VERSION})"
+        )
+    if msg_type not in _MSG_TYPES:
+        raise ProtocolError(f"unknown message type {msg_type}")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame cap"
+        )
+    return msg_type, length
+
+
+# ----------------------------------------------------------------------
+# ndarray payloads
+# ----------------------------------------------------------------------
+
+_NDARRAY_HEAD = struct.Struct(">H")  # dtype-string length
+_NDARRAY_NDIM = struct.Struct(">B")
+_NDARRAY_DIM = struct.Struct(">Q")
+
+
+def encode_ndarray(array: np.ndarray) -> bytes:
+    """Raw array block: dtype string + shape + C-order bytes (exact)."""
+    array = np.ascontiguousarray(array)
+    if array.dtype.hasobject:
+        raise ProtocolError(
+            f"cannot encode object-dtype array (dtype {array.dtype}); "
+            "only fixed-size numeric/bool dtypes cross the wire"
+        )
+    dtype = array.dtype.str.encode("ascii")
+    parts = [_NDARRAY_HEAD.pack(len(dtype)), dtype]
+    parts.append(_NDARRAY_NDIM.pack(array.ndim))
+    for dim in array.shape:
+        parts.append(_NDARRAY_DIM.pack(dim))
+    parts.append(array.tobytes(order="C"))
+    return b"".join(parts)
+
+
+def decode_ndarray(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_ndarray`; bitwise-exact round-trip."""
+    offset = 0
+    try:
+        (dtype_len,) = _NDARRAY_HEAD.unpack_from(payload, offset)
+        offset += _NDARRAY_HEAD.size
+        dtype = np.dtype(payload[offset : offset + dtype_len].decode("ascii"))
+        offset += dtype_len
+        (ndim,) = _NDARRAY_NDIM.unpack_from(payload, offset)
+        offset += _NDARRAY_NDIM.size
+        shape = []
+        for _ in range(ndim):
+            (dim,) = _NDARRAY_DIM.unpack_from(payload, offset)
+            offset += _NDARRAY_DIM.size
+            shape.append(int(dim))
+    except (struct.error, UnicodeDecodeError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed ndarray block: {exc}") from exc
+    if dtype.hasobject:
+        raise ProtocolError("object-dtype ndarray blocks are not allowed")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    body = payload[offset:]
+    if len(body) != expected:
+        raise ProtocolError(
+            f"ndarray block declares shape {tuple(shape)} dtype {dtype} "
+            f"({expected} bytes) but carries {len(body)} bytes"
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
+
+
+# ----------------------------------------------------------------------
+# Message layer
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Message:
+    """One decoded logical message."""
+
+    kind: str
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = dataclasses.field(default_factory=dict)
+
+
+def encode_message(
+    kind: str,
+    meta: Optional[dict] = None,
+    arrays: Optional[Dict[str, np.ndarray]] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """A full message as one byte string: JSON header frame + one
+    ndarray frame per named array, in declaration order."""
+    arrays = arrays or {}
+    header = {
+        "kind": kind,
+        "meta": meta or {},
+        "arrays": list(arrays),
+    }
+    parts = [
+        encode_frame(
+            MSG_JSON,
+            json.dumps(header, sort_keys=True).encode("utf-8"),
+            max_frame_bytes,
+        )
+    ]
+    for array in arrays.values():
+        parts.append(
+            encode_frame(MSG_NDARRAY, encode_ndarray(array), max_frame_bytes)
+        )
+    return b"".join(parts)
+
+
+def _decode_json_frame(payload: bytes) -> dict:
+    try:
+        header = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError("message header frame must be an object "
+                            "with a 'kind'")
+    return header
+
+
+def read_message(
+    read_exactly: Callable[[int], bytes],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Message:
+    """Read one message from a stream.
+
+    ``read_exactly(n)`` must return exactly ``n`` bytes, raise
+    :class:`ConnectionClosed` when the stream is cleanly closed before
+    any byte arrives, and :class:`FrameTruncated` on a partial read.
+    Only the *first* header read may see a clean close; from then on
+    every short read is a truncation error.
+    """
+    msg_type, length = parse_header(
+        read_exactly(HEADER_SIZE), max_frame_bytes
+    )
+    if msg_type != MSG_JSON:
+        raise ProtocolError(
+            "message must start with a JSON header frame, got an "
+            "ndarray frame"
+        )
+    header = _decode_json_frame(_read_body(read_exactly, length))
+    arrays: Dict[str, np.ndarray] = {}
+    for name in header.get("arrays", []):
+        try:
+            raw_header = read_exactly(HEADER_SIZE)
+        except ConnectionClosed as exc:
+            raise FrameTruncated(
+                "stream closed mid-message (between frames of one "
+                "multi-frame message)"
+            ) from exc
+        msg_type, length = parse_header(raw_header, max_frame_bytes)
+        if msg_type != MSG_NDARRAY:
+            raise ProtocolError(
+                f"expected ndarray frame for array {name!r}, "
+                "got a JSON frame"
+            )
+        arrays[name] = decode_ndarray(_read_body(read_exactly, length))
+    return Message(
+        kind=header["kind"], meta=header.get("meta", {}), arrays=arrays
+    )
+
+
+def _read_body(read_exactly: Callable[[int], bytes], length: int) -> bytes:
+    if length == 0:
+        return b""
+    try:
+        return read_exactly(length)
+    except ConnectionClosed as exc:
+        raise FrameTruncated("stream closed mid-frame") from exc
+
+
+def decode_message(
+    buffer: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Message:
+    """Decode one message from a complete byte buffer (pipe transport).
+
+    The buffer must contain exactly one message — trailing bytes are a
+    framing error, not a second message.
+    """
+    view = memoryview(buffer)
+    offset = 0
+
+    def read_exactly(n: int) -> bytes:
+        nonlocal offset
+        if offset >= len(view) and n > 0:
+            raise ConnectionClosed("buffer exhausted")
+        chunk = view[offset : offset + n]
+        if len(chunk) != n:
+            raise FrameTruncated(
+                f"buffer ends mid-frame ({len(chunk)} of {n} bytes)"
+            )
+        offset += n
+        return bytes(chunk)
+
+    message = read_message(read_exactly, max_frame_bytes)
+    if offset != len(view):
+        raise ProtocolError(
+            f"{len(view) - offset} trailing bytes after a complete message"
+        )
+    return message
+
+
+def sock_read_exactly(sock, n: int) -> bytes:
+    """``read_exactly`` adapter for a blocking socket.
+
+    Raises :class:`ConnectionClosed` when the peer closed before any
+    byte of this read arrived, :class:`FrameTruncated` when it closed
+    mid-read.  ``socket.timeout`` propagates to the caller (read
+    timeouts are a liveness policy, not a protocol event).
+    """
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                raise ConnectionClosed("peer closed the connection")
+            raise FrameTruncated(
+                f"peer closed mid-read ({n - remaining} of {n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message_from_socket(
+    sock, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Message:
+    """Read one message from a blocking socket."""
+    return read_message(
+        lambda n: sock_read_exactly(sock, n), max_frame_bytes
+    )
+
+
+# ----------------------------------------------------------------------
+# Error messages
+# ----------------------------------------------------------------------
+
+
+def encode_error(
+    exc: BaseException,
+    tb: Optional[str] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """An explicit error frame carrying type, message, and the remote
+    traceback (``tb`` defaults to the currently handled exception's)."""
+    if tb is None:
+        tb = getattr(exc, "remote_traceback", None) or traceback.format_exc()
+    meta = {
+        "type_module": type(exc).__module__,
+        "type_name": type(exc).__qualname__,
+        "message": str(exc),
+        "repr": repr(exc),
+        "remote_traceback": tb,
+    }
+    return encode_message("error", meta=meta, max_frame_bytes=max_frame_bytes)
+
+
+def decode_error(message: Message) -> BaseException:
+    """Rebuild the remote exception (best effort) with its
+    ``remote_traceback`` attached for :func:`_raise_worker_error`-style
+    chaining.
+
+    Only ``builtins`` and ``repro.*`` exception types are reconstructed
+    (arbitrary-module reconstruction would be an import gadget);
+    anything else — or a type whose constructor rejects a single
+    message argument — degrades to :class:`RemoteWorkerError` carrying
+    the original repr.
+    """
+    meta = message.meta
+    module = str(meta.get("type_module", ""))
+    name = str(meta.get("type_name", ""))
+    text = str(meta.get("message", ""))
+    exc: Optional[BaseException] = None
+    exc_cls = None
+    try:
+        if module == "builtins":
+            exc_cls = getattr(builtins, name, None)
+        elif module == "repro" or module.startswith("repro."):
+            exc_cls = getattr(importlib.import_module(module), name, None)
+        if (
+            isinstance(exc_cls, type)
+            and issubclass(exc_cls, BaseException)
+            and "." not in name  # nested/qualified types don't resolve
+        ):
+            exc = exc_cls(text)
+    except Exception:
+        exc = None
+    if exc is None:
+        exc = RemoteWorkerError(
+            f"{meta.get('repr', name + ': ' + text)}"
+        )
+    try:
+        exc.remote_traceback = str(meta.get("remote_traceback", ""))
+    except Exception:
+        pass
+    return exc
+
+
+# ----------------------------------------------------------------------
+# Scenario batch-result messages (shard worker replies)
+# ----------------------------------------------------------------------
+
+#: Result classes may only come from the repo itself.
+_RESULT_MODULE_PREFIX = "repro."
+
+
+def encode_result(
+    result: object, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Encode a scenario ``*BatchResult`` dataclass generically.
+
+    Every field of the five scenarios' batch results is an ndarray
+    after ``__post_init__`` (tests pin this), so the payload is just
+    the class identity plus one raw array block per field — no pickle.
+    """
+    if not dataclasses.is_dataclass(result):
+        raise ProtocolError(
+            f"{type(result).__name__} is not a dataclass batch result"
+        )
+    cls = type(result)
+    arrays = {}
+    for field in dataclasses.fields(cls):
+        arrays[field.name] = np.asarray(getattr(result, field.name))
+    meta = {"module": cls.__module__, "qualname": cls.__qualname__}
+    return encode_message(
+        "result", meta=meta, arrays=arrays, max_frame_bytes=max_frame_bytes
+    )
+
+
+def decode_result(message: Message) -> object:
+    """Rebuild the batch-result dataclass from a ``result`` message.
+
+    The class must live under ``repro.`` and be a dataclass — the
+    import allowlist mirrors :func:`decode_error`.
+    """
+    module = str(message.meta.get("module", ""))
+    qualname = str(message.meta.get("qualname", ""))
+    if not module.startswith(_RESULT_MODULE_PREFIX):
+        raise ProtocolError(
+            f"result class module {module!r} is outside the repro "
+            "allowlist"
+        )
+    if "." in qualname:
+        raise ProtocolError(
+            f"nested result class {qualname!r} cannot be resolved"
+        )
+    try:
+        cls = getattr(importlib.import_module(module), qualname)
+    except (ImportError, AttributeError) as exc:
+        raise ProtocolError(
+            f"unknown result class {module}.{qualname}"
+        ) from exc
+    if not dataclasses.is_dataclass(cls):
+        raise ProtocolError(f"{module}.{qualname} is not a dataclass")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    if set(message.arrays) != field_names:
+        raise ProtocolError(
+            f"result message fields {sorted(message.arrays)} do not "
+            f"match {qualname}'s fields {sorted(field_names)}"
+        )
+    return cls(**message.arrays)
+
+
+# ----------------------------------------------------------------------
+# Shard-worker requests (search / ping / reload / stop)
+# ----------------------------------------------------------------------
+
+
+def _jsonable_scalar(value: object) -> object:
+    """Normalize numpy scalar kwargs to plain Python for the JSON meta."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def encode_search(
+    queries: np.ndarray,
+    k: int,
+    beam_width: int,
+    kwargs: Optional[dict] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """A shard ``search_batch`` call: scalar knobs in the JSON meta,
+    the query matrix (and any array-valued kwargs, e.g. per-query
+    ``labels``) as raw ndarray frames."""
+    kwargs = kwargs or {}
+    arrays = {"queries": np.asarray(queries)}
+    scalars = {}
+    array_kwargs = []
+    for name, value in kwargs.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"kw:{name}"] = value
+            array_kwargs.append(name)
+        else:
+            scalars[name] = _jsonable_scalar(value)
+    meta = {
+        "k": int(k),
+        "beam_width": int(beam_width),
+        "kw_scalars": scalars,
+        "kw_arrays": array_kwargs,
+    }
+    return encode_message(
+        "search", meta=meta, arrays=arrays, max_frame_bytes=max_frame_bytes
+    )
+
+
+def decode_search(message: Message) -> Tuple[np.ndarray, int, int, dict]:
+    """Inverse of :func:`encode_search`."""
+    meta = message.meta
+    try:
+        queries = message.arrays["queries"]
+    except KeyError:
+        raise ProtocolError("search message lacks a 'queries' array") \
+            from None
+    kwargs = dict(meta.get("kw_scalars", {}))
+    for name in meta.get("kw_arrays", []):
+        try:
+            kwargs[name] = message.arrays[f"kw:{name}"]
+        except KeyError:
+            raise ProtocolError(
+                f"search message lacks declared kwarg array {name!r}"
+            ) from None
+    return (
+        queries,
+        int(meta["k"]),
+        int(meta["beam_width"]),
+        kwargs,
+    )
+
+
+def decode_reply(
+    blob: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[str, object]:
+    """Decode one worker reply buffer into ``(kind, payload)``.
+
+    ``kind`` is one of ``"ready"``, ``"pong"``, ``"result"``,
+    ``"error"``; the payload is the decoded batch result, the rebuilt
+    exception, or ``None``.
+    """
+    message = decode_message(blob, max_frame_bytes)
+    return reply_payload(message)
+
+
+def reply_payload(message: Message) -> Tuple[str, object]:
+    """``(kind, payload)`` of an already-decoded reply message."""
+    if message.kind == "error":
+        return "error", decode_error(message)
+    if message.kind == "result":
+        return "result", decode_result(message)
+    return message.kind, message.meta.get("value")
+
+
+# ----------------------------------------------------------------------
+# Gateway requests/responses (the typed SearchRequest protocol)
+# ----------------------------------------------------------------------
+
+
+def encode_search_request(
+    request,
+    request_id: int,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """A client->gateway typed request, tagged for multiplexing."""
+    arrays = {"queries": np.asarray(request.queries)}
+    labels_scalar = None
+    has_label_array = False
+    if request.labels is not None:
+        labels = np.asarray(request.labels)
+        if labels.ndim == 0:
+            labels_scalar = labels.item()
+        else:
+            arrays["labels"] = labels
+            has_label_array = True
+    meta = {
+        "id": int(request_id),
+        "k": int(request.k),
+        "beam_width": int(request.beam_width),
+        "max_beam_width": None
+        if request.max_beam_width is None
+        else int(request.max_beam_width),
+        "labels_scalar": labels_scalar,
+        "has_label_array": has_label_array,
+    }
+    return encode_message(
+        "request", meta=meta, arrays=arrays, max_frame_bytes=max_frame_bytes
+    )
+
+
+def decode_search_request(message: Message):
+    """Inverse of :func:`encode_search_request`; returns
+    ``(request_id, SearchRequest)``."""
+    from ...api.protocol import SearchRequest
+
+    meta = message.meta
+    try:
+        queries = message.arrays["queries"]
+    except KeyError:
+        raise ProtocolError("request message lacks a 'queries' array") \
+            from None
+    labels = None
+    if meta.get("has_label_array"):
+        try:
+            labels = message.arrays["labels"]
+        except KeyError:
+            raise ProtocolError(
+                "request message declares labels but carries none"
+            ) from None
+    elif meta.get("labels_scalar") is not None:
+        labels = np.asarray(meta["labels_scalar"])
+    max_beam_width = meta.get("max_beam_width")
+    request = SearchRequest(
+        queries=queries,
+        k=int(meta.get("k", 10)),
+        beam_width=int(meta.get("beam_width", 32)),
+        labels=labels,
+        max_beam_width=None
+        if max_beam_width is None
+        else int(max_beam_width),
+    )
+    return int(meta["id"]), request
+
+
+def encode_search_response(
+    response,
+    request_id: int,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """A gateway->client typed response, tagged with its request id."""
+    arrays = {
+        "ids": np.asarray(response.ids),
+        "distances": np.asarray(response.distances),
+        "counts": np.asarray(response.counts),
+    }
+    counter_names = []
+    for name, values in response.counters.items():
+        values = np.asarray(values)
+        if values.dtype.hasobject:
+            # Path-dependent per-row telemetry (e.g. mixed None rows)
+            # cannot cross the wire raw; drop it rather than fail the
+            # answer — ids/distances/counts are the contract.
+            continue
+        arrays[f"counter:{name}"] = values
+        counter_names.append(name)
+    meta = {"id": int(request_id), "counters": counter_names}
+    return encode_message(
+        "response", meta=meta, arrays=arrays, max_frame_bytes=max_frame_bytes
+    )
+
+
+def decode_search_response(message: Message):
+    """Inverse of :func:`encode_search_response`; returns
+    ``(request_id, SearchResponse)``."""
+    from ...api.protocol import SearchResponse
+
+    meta = message.meta
+    try:
+        response = SearchResponse(
+            ids=message.arrays["ids"],
+            distances=message.arrays["distances"],
+            counts=message.arrays["counts"],
+            counters={
+                name: message.arrays[f"counter:{name}"]
+                for name in meta.get("counters", [])
+            },
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            f"response message lacks array {exc.args[0]!r}"
+        ) from exc
+    return int(meta["id"]), response
+
+
+def encode_error_response(
+    exc: BaseException,
+    request_id: Optional[int],
+    tb: Optional[str] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """An error message tagged with the request it answers (``None``
+    for connection-level protocol errors)."""
+    if tb is None:
+        tb = getattr(exc, "remote_traceback", None) or traceback.format_exc()
+    meta = {
+        "id": None if request_id is None else int(request_id),
+        "type_module": type(exc).__module__,
+        "type_name": type(exc).__qualname__,
+        "message": str(exc),
+        "repr": repr(exc),
+        "remote_traceback": tb,
+    }
+    return encode_message("error", meta=meta, max_frame_bytes=max_frame_bytes)

@@ -1,0 +1,367 @@
+"""Remote shard workers: ``repro serve-shard`` over TCP.
+
+A shard worker is the socket twin of the process backend's pipe
+worker: it boots from a persisted index directory (the deploy
+artifact), listens on a TCP port, and answers the shared frame
+protocol — ``ping``/``reload``/``search`` messages in,
+``pong``/``ready``/``result``/``error`` messages out, byte-for-byte
+the same buffers the pipe transport carries.
+
+The server is deliberately boring: one accepting thread plus one
+thread per client connection, with searches serialized under a single
+lock (the engine is CPU-bound NumPy; interleaving searches on one box
+buys nothing and would perturb batching measurements).  Robustness
+lives in the protocol — a client that sends garbage gets an error
+frame (when the stream is still framed) and its connection closed;
+the worker itself never dies from client input.
+
+``serve_shard`` (the CLI body) installs SIGTERM/SIGINT handlers that
+stop accepting, drain in-flight requests, and exit 0 — so chaos tests
+can tell a graceful stop from a kill.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from . import framing
+
+
+def parse_hostport(text: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; the port is mandatory."""
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"endpoint {text!r} is not of the form host:port"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"endpoint {text!r} has a non-integer port"
+        ) from None
+
+
+class ShardService:
+    """Protocol-level request handling over one loaded shard index.
+
+    Transport-agnostic: :meth:`handle` maps one decoded request
+    message to one encoded reply buffer and never raises — every
+    failure becomes an error message, so transports never have to
+    guess how to keep their stream framed.
+    """
+
+    def __init__(self, index, dirpath: Optional[str] = None) -> None:
+        self._index = index
+        self._dirpath = dirpath
+        # One search at a time: the engine is CPU-bound and a reload
+        # must not swap the index under a running search.
+        self._search_lock = threading.Lock()
+
+    @classmethod
+    def from_dir(cls, dirpath: str) -> "ShardService":
+        from repro.api import load_index
+
+        return cls(load_index(dirpath), dirpath=dirpath)
+
+    def handle(self, message: framing.Message) -> Optional[bytes]:
+        """One reply buffer per request; ``None`` means "stop"."""
+        try:
+            if message.kind == "ping":
+                return framing.encode_message("pong")
+            if message.kind == "stop":
+                return None
+            if message.kind == "reload":
+                if self._dirpath is None:
+                    raise RuntimeError(
+                        "this worker was not booted from a directory; "
+                        "nothing to reload"
+                    )
+                from repro.api import load_index
+
+                with self._search_lock:
+                    self._index = load_index(self._dirpath)
+                return framing.encode_message("ready")
+            if message.kind == "search":
+                queries, k, beam_width, kwargs = framing.decode_search(
+                    message
+                )
+                with self._search_lock:
+                    result = self._index.search_batch(
+                        queries, k=k, beam_width=beam_width, **kwargs
+                    )
+                return framing.encode_result(result)
+            raise framing.ProtocolError(
+                f"unknown worker request {message.kind!r}"
+            )
+        except BaseException as exc:
+            try:
+                return framing.encode_error(exc)
+            except Exception:
+                return framing.encode_error(RuntimeError(repr(exc)))
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # one thread per connection
+        server: "ShardServer" = self.server
+        sock = self.request
+        sock.settimeout(None)
+        while True:
+            try:
+                message = framing.read_message_from_socket(
+                    sock, server.max_frame_bytes
+                )
+            except framing.ConnectionClosed:
+                return
+            except framing.ProtocolError as exc:
+                # Bad magic/version/truncation: the stream cannot be
+                # re-framed; best-effort error frame, then hang up.
+                try:
+                    sock.sendall(framing.encode_error(exc))
+                except OSError:
+                    pass
+                return
+            except OSError:
+                return
+            server.begin_request()
+            try:
+                reply = server.service.handle(message)
+                if reply is None:  # protocol "stop"
+                    threading.Thread(
+                        target=server.shutdown, daemon=True
+                    ).start()
+                    return
+                sock.sendall(reply)
+            except OSError:
+                return  # client went away mid-reply
+            finally:
+                server.end_request()
+
+
+class ShardServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server speaking the shard-worker protocol."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: ShardService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = framing.DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.service = service
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        super().__init__((host, port), _ShardRequestHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.socket.getsockname()[:2]
+        return host, port
+
+    # -- in-flight accounting (for graceful drain) ---------------------
+    def begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for in-flight requests to finish; ``False`` on timeout."""
+        with self._inflight_cv:
+            return self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+
+def serve_shard(
+    dirpath: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready_file=None,
+) -> int:
+    """Body of the ``repro serve-shard`` CLI command.
+
+    Loads the persisted index, binds (``port=0`` → an ephemeral port),
+    prints a parseable ``listening on HOST:PORT`` line, and serves
+    until SIGTERM/SIGINT — which stop accepting, drain in-flight
+    requests, and return 0 (the graceful-exit signature chaos tests
+    check for).
+    """
+    service = ShardService.from_dir(dirpath)
+    server = ShardServer(service, host=host, port=port)
+    bound_host, bound_port = server.address
+
+    def _graceful(signum, frame):
+        # shutdown() only stops the accept loop; per-connection threads
+        # finish the request they hold before the process exits.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
+    line = f"listening on {bound_host}:{bound_port}"
+    if ready_file is not None:
+        with open(ready_file, "w") as handle:
+            print(line, file=handle, flush=True)
+    else:
+        print(line, flush=True)
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.drain()
+        server.server_close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# In-test worker management
+# ----------------------------------------------------------------------
+
+
+def _local_worker_main(dirpath: str, host: str, port: int, conn) -> None:
+    """Child entry point: bind, report the actual port, serve."""
+    try:
+        service = ShardService.from_dir(dirpath)
+        server = ShardServer(service, host=host, port=port)
+        conn.send(("listening", server.address[1]))
+    except BaseException as exc:
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+        return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    server.serve_forever(poll_interval=0.05)
+
+
+class LocalShardWorker:
+    """A shard worker in a local child process (tests, benchmarks).
+
+    Spawn-context child binds the port (``port=0`` → ephemeral; the
+    actual port comes back over a pipe), exposes ``pid`` so chaos
+    tests can SIGKILL it, and ``respawn()`` boots a fresh process on
+    the *same* port — the remediation step a real deployment's
+    supervisor (systemd, k8s) would perform.
+    """
+
+    def __init__(
+        self, dirpath: str, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._dirpath = dirpath
+        self._host = host
+        self._context = multiprocessing.get_context("spawn")
+        self._proc = None
+        self.port = int(port)
+        self.start()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self._host}:{self.port}"
+
+    def start(self, timeout: float = 60.0) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        proc = self._context.Process(
+            target=_local_worker_main,
+            args=(self._dirpath, self._host, self.port, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(timeout):
+                raise RuntimeError(
+                    f"shard worker on {self._host} did not report a "
+                    f"port within {timeout:.0f}s"
+                )
+            status, payload = parent_conn.recv()
+        except EOFError:
+            proc.join(timeout=5)
+            raise RuntimeError(
+                "shard worker died before reporting its port"
+            ) from None
+        finally:
+            parent_conn.close()
+        if status != "listening":
+            proc.join(timeout=5)
+            raise RuntimeError(f"shard worker failed to boot: {payload}")
+        self._proc = proc
+        self.port = int(payload)
+
+    def kill(self) -> None:
+        """SIGKILL — the chaos tests' hammer."""
+        if self._proc is not None and self._proc.is_alive():
+            os.kill(self._proc.pid, signal.SIGKILL)
+        if self._proc is not None:
+            self._proc.join(timeout=10)
+
+    def respawn(self, timeout: float = 60.0) -> None:
+        """Fresh process on the same port (external remediation)."""
+        self.stop()
+        deadline = timeout
+        # The killed process's socket may linger briefly even with
+        # SO_REUSEADDR; retry the bind a few times.
+        last = None
+        for _ in range(20):
+            try:
+                self.start(timeout=deadline)
+                return
+            except RuntimeError as exc:
+                last = exc
+                import time
+
+                time.sleep(0.1)
+        raise last
+
+    def stop(self) -> None:
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join(timeout=10)
+            self._proc = None
+
+    def __enter__(self) -> "LocalShardWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def wait_for_port(
+    host: str, port: int, timeout: float = 30.0
+) -> None:
+    """Block until ``host:port`` accepts a TCP connection."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                return
+        except OSError as exc:
+            last = exc
+            time.sleep(0.05)
+    raise TimeoutError(
+        f"{host}:{port} did not accept a connection within {timeout:.0f}s"
+    ) from last

@@ -155,24 +155,26 @@ class _ProcessReplica:
         self._proc, self._conn = proc, parent_conn
 
     def _expect(self, expected: str, timeout: Optional[float] = None):
+        from .net import framing
+
         if timeout is not None and not self._conn.poll(timeout):
             raise ReplicaDied(
                 f"shard {self.shard_id} replica {self.replica_id} did "
                 f"not answer within {timeout:.0f}s"
             )
         try:
-            status, payload = self._conn.recv()
+            kind, payload = framing.decode_reply(self._conn.recv_bytes())
         except (EOFError, OSError) as exc:
             raise ReplicaDied(
                 f"shard {self.shard_id} replica {self.replica_id} "
                 "exited unexpectedly"
             ) from exc
-        if status == "error":
+        if kind == "error":
             _raise_worker_error(payload)
-        if status != expected:
+        if kind != expected:
             raise RuntimeError(
                 f"shard {self.shard_id} replica {self.replica_id} "
-                f"answered {status!r}, expected {expected!r}"
+                f"answered {kind!r}, expected {expected!r}"
             )
         return payload
 
@@ -181,14 +183,14 @@ class _ProcessReplica:
 
     def ping(self, timeout: Optional[float] = None) -> None:
         """Health probe: the worker loop must answer, not just exist."""
+        from .net import framing
+
         with self._pipe_lock:
             try:
-                self._conn.send(("ping",))
+                self._conn.send_bytes(framing.encode_message("ping"))
             except (OSError, ValueError) as exc:
                 raise ReplicaDied("ping failed to send") from exc
-            payload = self._expect("ok", timeout)
-        if payload != "pong":
-            raise RuntimeError(f"unexpected ping reply {payload!r}")
+            self._expect("pong", timeout)
 
     def respawn_and_verify(self, timeout: float) -> bool:
         """Remediate + verify: fresh worker from persisted state, then
@@ -221,37 +223,47 @@ class _ProcessReplica:
     def stop(self) -> None:
         """Graceful stop (protocol ``stop``), falling back to
         terminate."""
+        from .net import framing
+
         if self._conn is not None:
             try:
-                self._conn.send(("stop",))
+                self._conn.send_bytes(framing.encode_message("stop"))
             except (OSError, ValueError):
                 pass
         self.terminate()
 
     # -- serving --------------------------------------------------------
     def search(self, queries, k, beam_width, kwargs):
+        from .net import framing
+
         with self._pipe_lock:
             try:
-                self._conn.send(("search", queries, k, beam_width, kwargs))
-                status, payload = self._conn.recv()
+                self._conn.send_bytes(
+                    framing.encode_search(queries, k, beam_width, kwargs)
+                )
+                kind, payload = framing.decode_reply(
+                    self._conn.recv_bytes()
+                )
             except (EOFError, OSError, ValueError) as exc:
                 raise ReplicaDied(
                     f"shard {self.shard_id} replica {self.replica_id} "
                     "died mid-request"
                 ) from exc
-        if status == "error":
+        if kind == "error":
             _raise_worker_error(payload)
-        if status != "ok":
+        if kind != "result":
             raise RuntimeError(
                 f"shard {self.shard_id} replica {self.replica_id} "
-                f"answered {status!r} to a search"
+                f"answered {kind!r} to a search"
             )
         return payload
 
     def reload(self) -> None:
+        from .net import framing
+
         with self._pipe_lock:
             try:
-                self._conn.send(("reload",))
+                self._conn.send_bytes(framing.encode_message("reload"))
             except (OSError, ValueError) as exc:
                 raise ReplicaDied("reload failed to send") from exc
             self.wait_ready()
@@ -308,10 +320,14 @@ class ReplicatedBackend(ShardBackend):
         pointless — fleet).
     inner:
         Which registered backend substrate each replica runs as:
-        ``"thread"`` or ``"process"``.
+        ``"thread"``, ``"process"``, or ``"socket"``.
     probe_interval_s:
         Supervisor tick: how often dead workers are detected and
         respawned in the background.
+    endpoints:
+        ``"socket"`` inner only: per-shard worker addresses, each entry
+        a ``"host:port"`` string or a list of them (one per replica
+        slot; see :func:`repro.serving.net.backend.normalize_endpoints`).
     """
 
     def __init__(
@@ -321,6 +337,7 @@ class ReplicatedBackend(ShardBackend):
         replicas: int = 2,
         inner: str = "thread",
         probe_interval_s: float = 0.5,
+        endpoints: Optional[Sequence] = None,
     ) -> None:
         super().__init__(shards, max_workers)
         if inner not in SHARD_BACKENDS:
@@ -330,6 +347,16 @@ class ReplicatedBackend(ShardBackend):
             )
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if inner == "socket" and endpoints is None:
+            raise ValueError(
+                "the 'socket' inner backend requires endpoints"
+            )
+        if endpoints is not None and inner != "socket":
+            raise ValueError(
+                "endpoints only apply to the 'socket' inner backend, "
+                f"not {inner!r}"
+            )
+        self._endpoints = endpoints
         # ``name`` reports the execution substrate (what
         # ``ShardedIndex.backend`` / ``set_backend`` speak); replication
         # is the orthogonal ``replicas`` axis.
@@ -362,6 +389,19 @@ class ReplicatedBackend(ShardBackend):
                     for r in range(self.replicas)
                 ]
                 for s, shard in enumerate(self._shards)
+            ]
+        elif self.inner == "socket":
+            from .net.backend import _SocketReplica, normalize_endpoints
+
+            matrix = normalize_endpoints(
+                self._endpoints, len(self._shards), self.replicas
+            )
+            self._fleet = [
+                [
+                    _SocketReplica(endpoint, s, r)
+                    for r, endpoint in enumerate(row)
+                ]
+                for s, row in enumerate(matrix)
             ]
         else:
             from ..api import save_index
@@ -443,6 +483,14 @@ class ReplicatedBackend(ShardBackend):
                         replica.restarts += 1
 
     def invalidate(self, shard: int) -> None:
+        if self.inner == "socket":
+            # Remote socket workers boot from their *own* persisted
+            # directories; the parent cannot re-ship mutated state over
+            # the wire, so streaming writes are incompatible.
+            raise RuntimeError(
+                "the 'socket' backend serves remote read-only workers; "
+                "streaming writes cannot be re-shipped over the wire"
+            )
         self._dirty.add(int(shard))
 
     def _flush_dirty(self) -> None:

@@ -105,6 +105,11 @@ class ShardedIndex:
         failover, and a background supervisor respawning dead workers.
         Results stay bitwise identical while any replica per shard is
         healthy.
+    endpoints:
+        ``"socket"`` backend only: per-shard worker addresses — one
+        ``"host:port"`` string (or, with ``replicas > 1``, a list of
+        them) per shard.  Required for ``"socket"``, rejected
+        otherwise.
     """
 
     def __init__(
@@ -114,6 +119,7 @@ class ShardedIndex:
         max_workers: Optional[int] = None,
         backend: str = "thread",
         replicas: int = 1,
+        endpoints: Optional[Sequence] = None,
     ) -> None:
         shards = list(shards)
         if not shards:
@@ -156,8 +162,13 @@ class ShardedIndex:
             raise ValueError("max_workers must be >= 1")
         self._max_workers = max_workers
         self._replicas = int(replicas)
+        self._endpoints = endpoints
         self._backend = make_shard_backend(
-            backend, self._shards, max_workers=max_workers, replicas=replicas
+            backend,
+            self._shards,
+            max_workers=max_workers,
+            replicas=replicas,
+            endpoints=endpoints,
         )
 
     # ------------------------------------------------------------------
@@ -174,6 +185,7 @@ class ShardedIndex:
         max_workers: Optional[int] = None,
         backend: str = "thread",
         replicas: int = 1,
+        endpoints: Optional[Sequence] = None,
     ) -> "ShardedIndex":
         """Partition ``x`` and build one index per shard.
 
@@ -197,6 +209,7 @@ class ShardedIndex:
             max_workers=max_workers,
             backend=backend,
             replicas=replicas,
+            endpoints=endpoints,
         )
 
     # ------------------------------------------------------------------
@@ -265,16 +278,23 @@ class ShardedIndex:
                 rows.append({"shard": s, **status()})
         return rows
 
-    def _swap_backend(self, backend: str, replicas: int) -> None:
+    def _swap_backend(
+        self,
+        backend: str,
+        replicas: int,
+        endpoints: Optional[Sequence] = None,
+    ) -> None:
         replacement = make_shard_backend(
             backend,
             self._shards,
             max_workers=self._max_workers,
             replicas=replicas,
+            endpoints=endpoints,
         )
         self._backend.close()
         self._backend = replacement
         self._replicas = int(replicas)
+        self._endpoints = endpoints
         spec = getattr(self, "spec", None)
         if spec is not None:
             # Keep the attached declarative spec truthful — it is what
@@ -283,21 +303,27 @@ class ShardedIndex:
             self.spec = dataclasses.replace(
                 spec,
                 sharding=dataclasses.replace(
-                    spec.sharding, backend=backend, replicas=int(replicas)
+                    spec.sharding,
+                    backend=backend,
+                    replicas=int(replicas),
+                    endpoints=endpoints,
                 ),
             )
 
-    def set_backend(self, backend: str) -> None:
+    def set_backend(
+        self, backend: str, endpoints: Optional[Sequence] = None
+    ) -> None:
         """Switch the fan-out backend (closing the current one).
 
         Results are bitwise identical across backends, so this is a
         pure wall-clock decision — e.g. load a saved index and flip a
         thread fan-out to process workers without rebuilding.  The
-        replica count carries over.
+        replica count carries over.  ``endpoints`` configures the
+        ``"socket"`` backend's worker addresses.
         """
-        if backend == self._backend.name:
+        if backend == self._backend.name and endpoints is None:
             return
-        self._swap_backend(backend, self._replicas)
+        self._swap_backend(backend, self._replicas, endpoints=endpoints)
 
     def set_replicas(self, replicas: int) -> None:
         """Resize the per-shard replica count (closing the current
@@ -305,7 +331,9 @@ class ShardedIndex:
         are bitwise identical at any replica count."""
         if int(replicas) == self._replicas:
             return
-        self._swap_backend(self.backend, int(replicas))
+        self._swap_backend(
+            self.backend, int(replicas), endpoints=self._endpoints
+        )
 
     def close(self) -> None:
         """Shut the fan-out backend down (idempotent)."""

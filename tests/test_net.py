@@ -1,0 +1,805 @@
+"""Network tier: framing edge cases, shard workers, gateway, parity.
+
+Three layers under test (see ``docs/architecture.md``, "Network
+tier"):
+
+* the versioned frame codec — malformed input (bad magic/version,
+  oversized payloads, truncated streams, trailing bytes) must fail
+  loudly and typed, and every codec round-trips bitwise;
+* the worker/client transport — an in-thread ``ShardServer`` answers
+  the same buffers the pipe backend ships, worker death surfaces as
+  ``ReplicaDied``, and a mid-stream disconnect is distinguished from
+  a clean close;
+* the asyncio gateway — bitwise identity with in-process serving,
+  no cross-delivered replies under concurrent clients, bounded
+  per-connection inflight (backpressure), and graceful SIGTERM
+  drains (worker and gateway CLI subprocesses exit 0).
+
+The slow lane pins the acceptance matrix: ``NetClient`` → gateway →
+socket shard workers against the in-process ``ShardedIndex`` on all
+five scenarios, and SIGKILL chaos over a replicated socket fleet
+with zero failed requests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DatasetSpec,
+    GraphSpec,
+    IndexSpec,
+    QuantizerSpec,
+    ScenarioSpec,
+    SearchRequest,
+    ShardingSpec,
+    build,
+    load_index,
+    save_index,
+)
+from repro.datasets import load
+from repro.graphs import build_vamana
+from repro.index import MemoryIndex
+from repro.quantization import ProductQuantizer
+from repro.serving import ShardedIndex
+from repro.serving.net import (
+    GatewayThread,
+    LocalShardWorker,
+    NetClient,
+    ShardClient,
+    ShardServer,
+    ShardService,
+    framing,
+)
+from repro.serving.replication import ReplicaDied
+
+# ----------------------------------------------------------------------
+# Shared fixtures / helpers
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = load("sift", n_base=160, n_queries=6, seed=5)
+    quantizer = ProductQuantizer(8, 16, seed=0).fit(data.train)
+    return data, quantizer
+
+
+def build_memory(x, quantizer):
+    return MemoryIndex(
+        build_vamana(x, r=8, search_l=20, seed=0), quantizer, x
+    )
+
+
+@pytest.fixture(scope="module")
+def memory_index(setup):
+    data, quantizer = setup
+    return build_memory(data.base, quantizer)
+
+
+VOLATILE_COUNTERS = {"table_cache_hits", "workspace_reused"}
+
+
+def assert_responses_identical(a, b):
+    np.testing.assert_array_equal(a.ids, b.ids)
+    np.testing.assert_array_equal(a.distances, b.distances)
+    np.testing.assert_array_equal(a.counts, b.counts)
+    # The gateway path runs through the dynamic batcher, which stamps
+    # wall-clock ``batcher_*`` timing counters onto its responses, and
+    # the ADC-table/workspace cache counters depend on per-process
+    # warm-up history; the work counters must still match bitwise.
+    a_counters = {
+        k: v
+        for k, v in a.counters.items()
+        if not k.startswith("batcher_") and k not in VOLATILE_COUNTERS
+    }
+    b_counters = {
+        k: v
+        for k, v in b.counters.items()
+        if not k.startswith("batcher_") and k not in VOLATILE_COUNTERS
+    }
+    assert set(a_counters) == set(b_counters)
+    for name in a_counters:
+        np.testing.assert_array_equal(
+            a_counters[name], b_counters[name], err_msg=name
+        )
+
+
+def reader_over(blob: bytes):
+    """A ``read_exactly`` callable over an in-memory byte stream,
+    honoring the stream contract: ``ConnectionClosed`` when exhausted
+    before any byte, ``FrameTruncated`` on a partial read."""
+    view = memoryview(blob)
+    pos = 0
+
+    def read_exactly(n: int) -> bytes:
+        nonlocal pos
+        if pos >= len(view) and n > 0:
+            raise framing.ConnectionClosed("stream exhausted")
+        chunk = bytes(view[pos : pos + n])
+        if len(chunk) != n:
+            raise framing.FrameTruncated(f"{len(chunk)} of {n} bytes")
+        pos += n
+        return chunk
+
+    return read_exactly
+
+
+@contextlib.contextmanager
+def inproc_server(index, dirpath=None, **server_kwargs):
+    """An in-thread ``ShardServer`` (no subprocess) for transport tests."""
+    server = ShardServer(
+        ShardService(index, dirpath=dirpath), **server_kwargs
+    )
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.02},
+        daemon=True,
+    )
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def endpoint_of(server: ShardServer) -> str:
+    host, port = server.address
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# Frame codec: round-trips and malformed-input rejection
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "dtype", ["float64", "float32", "int64", "int32", "uint8", "bool"]
+    )
+    def test_ndarray_round_trip_bitwise(self, dtype):
+        rng = np.random.default_rng(3)
+        array = (rng.standard_normal((5, 7)) * 100).astype(dtype)
+        decoded = framing.decode_ndarray(framing.encode_ndarray(array))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        np.testing.assert_array_equal(decoded, array)
+        # A non-contiguous view still encodes its logical contents.
+        sliced = array[::2, ::3]
+        np.testing.assert_array_equal(
+            framing.decode_ndarray(framing.encode_ndarray(sliced)), sliced
+        )
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(framing.ProtocolError, match="object"):
+            framing.encode_ndarray(np.array([object()], dtype=object))
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(framing.encode_message("ping"))
+        blob[:4] = b"EVIL"
+        with pytest.raises(framing.ProtocolError, match="magic"):
+            framing.decode_message(bytes(blob))
+
+    def test_bad_version_rejected(self):
+        blob = bytearray(framing.encode_message("ping"))
+        blob[4] = framing.PROTOCOL_VERSION + 1
+        with pytest.raises(framing.ProtocolError, match="version"):
+            framing.decode_message(bytes(blob))
+
+    def test_unknown_msg_type_rejected(self):
+        blob = bytearray(framing.encode_message("ping"))
+        blob[5] = 99
+        with pytest.raises(framing.ProtocolError):
+            framing.decode_message(bytes(blob))
+
+    def test_oversized_payload_rejected_before_read(self):
+        # A header declaring a payload beyond the cap must be rejected
+        # from the header alone — never allocated or read.
+        header = struct.pack(
+            ">4sBBHI",
+            framing.MAGIC,
+            framing.PROTOCOL_VERSION,
+            framing.MSG_JSON,
+            0,
+            2**31,
+        )
+        with pytest.raises(framing.ProtocolError, match="frame"):
+            framing.parse_header(header, max_frame_bytes=1024)
+        # And a legitimate message is refused under a smaller cap.
+        blob = framing.encode_message(
+            "search", arrays={"queries": np.zeros((64, 16))}
+        )
+        with pytest.raises(framing.ProtocolError):
+            framing.decode_message(blob, max_frame_bytes=128)
+
+    def test_clean_eof_vs_truncation(self):
+        blob = framing.encode_message(
+            "search", arrays={"queries": np.zeros((2, 3))}
+        )
+        # Clean close at a message boundary: ConnectionClosed.
+        with pytest.raises(framing.ConnectionClosed):
+            framing.read_message(reader_over(b""))
+        # Cut inside the first header, inside a payload, and between
+        # the JSON frame and its announced ndarray frame: all
+        # FrameTruncated (a subtype of ProtocolError).
+        for cut in (3, framing.HEADER_SIZE + 2, len(blob) - 4):
+            with pytest.raises(framing.FrameTruncated):
+                framing.read_message(reader_over(blob[:cut]))
+        assert issubclass(framing.FrameTruncated, framing.ProtocolError)
+
+    def test_trailing_bytes_rejected(self):
+        blob = framing.encode_message("ping")
+        with pytest.raises(framing.ProtocolError, match="trail"):
+            framing.decode_message(blob + b"\x00")
+
+    def test_error_codec_reconstructs_type_and_traceback(self):
+        try:
+            raise ValueError("k must be >= 1")
+        except ValueError as exc:
+            blob = framing.encode_error(exc)
+        rebuilt = framing.decode_error(framing.decode_message(blob))
+        assert isinstance(rebuilt, ValueError)
+        assert "k must be >= 1" in str(rebuilt)
+        assert "Traceback" in rebuilt.remote_traceback
+        assert "ValueError" in rebuilt.remote_traceback
+
+    def test_error_codec_degrades_unknown_types(self):
+        class HomegrownError(Exception):
+            pass
+
+        blob = framing.encode_error(HomegrownError("odd"))
+        rebuilt = framing.decode_error(framing.decode_message(blob))
+        # Not importable on the allowlist -> the typed stand-in.
+        assert isinstance(rebuilt, framing.RemoteWorkerError)
+        assert "HomegrownError" in str(rebuilt)
+
+    def test_search_request_response_round_trip(self):
+        rng = np.random.default_rng(0)
+        request = SearchRequest(
+            queries=rng.standard_normal((4, 8)),
+            k=7,
+            beam_width=19,
+            labels=np.array([0, 1, 0, 2]),
+            max_beam_width=64,
+        )
+        blob = framing.encode_search_request(request, request_id=41)
+        rid, decoded = framing.decode_search_request(
+            framing.decode_message(blob)
+        )
+        assert rid == 41
+        np.testing.assert_array_equal(decoded.queries, request.queries)
+        np.testing.assert_array_equal(decoded.labels, request.labels)
+        assert (decoded.k, decoded.beam_width, decoded.max_beam_width) == (
+            7,
+            19,
+            64,
+        )
+
+        from repro.api.protocol import SearchResponse
+
+        response = SearchResponse(
+            ids=rng.integers(0, 100, size=(4, 7)),
+            distances=rng.standard_normal((4, 7)),
+            counts=np.full(4, 7, dtype=np.int64),
+            counters={"hops": rng.integers(0, 9, size=4)},
+        )
+        blob = framing.encode_search_response(response, request_id=41)
+        rid, decoded = framing.decode_search_response(
+            framing.decode_message(blob)
+        )
+        assert rid == 41
+        assert_responses_identical(response, decoded)
+
+
+# ----------------------------------------------------------------------
+# Worker transport: in-thread server + ShardClient
+# ----------------------------------------------------------------------
+
+
+class TestShardTransport:
+    def test_ping_search_parity_and_remote_errors(self, setup, memory_index):
+        data, _ = setup
+        with inproc_server(memory_index) as server:
+            with ShardClient(endpoint_of(server)) as client:
+                client.ping()
+                expected = memory_index.search_batch(
+                    data.queries, k=5, beam_width=16
+                )
+                got = client.search(data.queries, 5, 16, {})
+                assert type(got) is type(expected)
+                np.testing.assert_array_equal(got.ids, expected.ids)
+                np.testing.assert_array_equal(
+                    got.distances, expected.distances
+                )
+                # A worker-side failure comes back typed, with the
+                # remote traceback attached, and the connection stays
+                # usable for the next request.
+                with pytest.raises(TypeError) as excinfo:
+                    client.search(data.queries, 5, 16, {"labels": 1})
+                assert excinfo.value.__cause__ is not None
+                client.ping()
+
+    def test_garbage_input_gets_error_frame_not_worker_death(
+        self, setup, memory_index
+    ):
+        data, _ = setup
+        with inproc_server(memory_index) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"NOTAFRAME-------")
+                message = framing.read_message_from_socket(sock)
+                kind, payload = framing.reply_payload(message)
+                assert kind == "error"
+                assert sock.recv(1) == b""  # stream unframed: hang up
+            # The worker survives for well-formed clients.
+            with ShardClient(endpoint_of(server)) as client:
+                client.ping()
+
+    def test_dead_worker_surfaces_replica_died(self, memory_index):
+        with inproc_server(memory_index) as server:
+            endpoint = endpoint_of(server)
+        # Server is gone; a fast-backoff client must give up typed.
+        client = ShardClient(
+            endpoint, max_retries=1, backoff_base_s=0.01,
+            connect_timeout_s=1.0,
+        )
+        with pytest.raises(ReplicaDied, match="connect"):
+            client.ping()
+
+    def test_mid_stream_disconnect_is_replica_died(self):
+        # A hand-rolled server that answers with *half* a frame and
+        # hangs up mid-response: the client must not hang or mis-frame,
+        # it must surface ReplicaDied (chained from FrameTruncated).
+        reply = framing.encode_message("pong")
+        listener = socket.create_server(("127.0.0.1", 0))
+        host, port = listener.getsockname()[:2]
+
+        def half_answer():
+            conn, _ = listener.accept()
+            with conn:
+                framing.read_message_from_socket(conn)
+                conn.sendall(reply[: len(reply) - 3])
+
+        thread = threading.Thread(target=half_answer, daemon=True)
+        thread.start()
+        try:
+            with ShardClient(f"{host}:{port}", read_timeout_s=10.0) as client:
+                with pytest.raises(ReplicaDied) as excinfo:
+                    client.ping()
+            assert isinstance(
+                excinfo.value.__cause__, framing.FrameTruncated
+            )
+        finally:
+            thread.join(timeout=10)
+            listener.close()
+
+    def test_socket_backend_parity_and_invalidate_guard(self, setup):
+        data, quantizer = setup
+        sharded = ShardedIndex.build(
+            data.base, 2, lambda xs: build_memory(xs, quantizer)
+        )
+        request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        expected = sharded.search(request)
+        with contextlib.ExitStack() as stack:
+            servers = [
+                stack.enter_context(inproc_server(shard))
+                for shard in sharded._shards
+            ]
+            sharded.set_backend(
+                "socket", endpoints=[endpoint_of(s) for s in servers]
+            )
+            try:
+                assert sharded.backend == "socket"
+                assert_responses_identical(expected, sharded.search(request))
+                rows = sharded.fleet_status()
+                assert [r["endpoint"] for r in rows] == [
+                    endpoint_of(s) for s in servers
+                ]
+                # Streaming writes cannot re-ship remote state.
+                with pytest.raises(RuntimeError, match="wire"):
+                    sharded._backend.invalidate(0)
+            finally:
+                sharded.close()
+                sharded.set_backend("thread")
+
+    def test_spec_round_trip_carries_endpoints(self):
+        spec = IndexSpec(
+            sharding=ShardingSpec(
+                num_shards=2,
+                backend="socket",
+                endpoints=["127.0.0.1:7001", "127.0.0.1:7002"],
+            )
+        )
+        restored = IndexSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.sharding.endpoints == [
+            "127.0.0.1:7001",
+            "127.0.0.1:7002",
+        ]
+        with pytest.raises(ValueError, match="endpoints"):
+            build(IndexSpec(sharding=ShardingSpec(
+                num_shards=2, backend="socket"
+            )))
+        with pytest.raises(ValueError, match="socket"):
+            build(IndexSpec(sharding=ShardingSpec(
+                num_shards=2, backend="thread",
+                endpoints=["127.0.0.1:7001", "127.0.0.1:7002"],
+            )))
+
+
+# ----------------------------------------------------------------------
+# Gateway: identity, concurrency, backpressure, error frames
+# ----------------------------------------------------------------------
+
+
+class TestGateway:
+    def test_identity_with_in_process_serving(self, setup, memory_index):
+        data, _ = setup
+        request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        expected = memory_index.search(request)
+        with GatewayThread(memory_index) as gw:
+            with NetClient(gw.connect) as client:
+                assert_responses_identical(expected, client.search(request))
+
+    def test_concurrent_clients_no_cross_delivery(self, setup, memory_index):
+        data, _ = setup
+        reference = memory_index.search(
+            SearchRequest(queries=data.queries, k=5, beam_width=16)
+        )
+        errors: list = []
+
+        def hammer(row: int) -> None:
+            try:
+                with NetClient(gw.connect) as client:
+                    request = SearchRequest(
+                        queries=data.queries[row : row + 1],
+                        k=5,
+                        beam_width=16,
+                    )
+                    futures = [
+                        client.submit_request(request) for _ in range(6)
+                    ]
+                    for future in futures:
+                        response = future.result(timeout=60)
+                        np.testing.assert_array_equal(
+                            response.ids[0], reference.ids[row]
+                        )
+                        np.testing.assert_array_equal(
+                            response.distances[0], reference.distances[row]
+                        )
+            except BaseException as exc:  # surfaced after join
+                errors.append((row, exc))
+
+        with GatewayThread(memory_index) as gw:
+            threads = [
+                threading.Thread(target=hammer, args=(row,))
+                for row in range(data.queries.shape[0])
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = gw.gateway.stats
+            assert stats.requests_total == 6 * data.queries.shape[0]
+        assert errors == []
+
+    def test_backpressure_bounds_per_connection_inflight(
+        self, setup, memory_index
+    ):
+        data, _ = setup
+        cap = 3
+        request = SearchRequest(
+            queries=data.queries[:1], k=5, beam_width=16
+        )
+        with GatewayThread(
+            memory_index, max_inflight_per_conn=cap, max_wait_ms=0.5
+        ) as gw:
+            with NetClient(gw.connect) as client:
+                futures = [client.submit_request(request) for _ in range(24)]
+                for future in futures:
+                    future.result(timeout=60)
+            stats = gw.gateway.stats
+            assert stats.requests_total == 24
+            # The semaphore is the bounded write queue: the gateway
+            # never admits more than `cap` requests from one
+            # connection, no matter how many the client floods.
+            assert 1 <= stats.peak_inflight <= cap
+
+    def test_error_frames_carry_remote_traceback(self, setup, memory_index):
+        data, _ = setup
+        bad = SearchRequest(
+            queries=data.queries, k=5, beam_width=16, labels=1
+        )
+        good = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        expected = memory_index.search(good)
+        with GatewayThread(memory_index) as gw:
+            with NetClient(gw.connect) as client:
+                with pytest.raises(ValueError, match="filtered"):
+                    client.search(bad)
+                # The connection survives the failed request.
+                assert_responses_identical(expected, client.search(good))
+            assert gw.gateway.stats.errors_total >= 1
+
+    def test_protocol_garbage_answers_error_frame_and_hangs_up(
+        self, memory_index
+    ):
+        with GatewayThread(memory_index) as gw:
+            host, port = gw.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"\x00" * framing.HEADER_SIZE)
+                message = framing.read_message_from_socket(sock)
+                kind, _ = framing.reply_payload(message)
+                assert kind == "error"
+                assert sock.recv(1) == b""
+            assert gw.gateway.stats.protocol_errors_total >= 1
+
+    def test_client_disconnect_mid_flight_does_not_kill_gateway(
+        self, setup, memory_index
+    ):
+        data, _ = setup
+        request = SearchRequest(queries=data.queries, k=5, beam_width=16)
+        expected = memory_index.search(request)
+        with GatewayThread(memory_index) as gw:
+            client = NetClient(gw.connect)
+            for _ in range(4):
+                client.submit_request(request)
+            client.close()  # mid-flight disconnect
+            # Gateway keeps serving fresh connections.
+            with NetClient(gw.connect) as client2:
+                assert_responses_identical(expected, client2.search(request))
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown (SIGTERM drains) — CLI subprocesses
+# ----------------------------------------------------------------------
+
+
+def _spawn_cli(args, cwd):
+    env = dict(os.environ)
+    src = os.path.join(cwd, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=cwd,
+        env=env,
+    )
+
+
+def _await_listening(proc, marker: str, timeout_s: float = 120.0):
+    deadline = time.monotonic() + timeout_s
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        if marker in line:
+            return line.strip().rsplit(" ", 1)[-1]
+    proc.kill()
+    pytest.fail(f"no {marker!r} line from CLI; output: {''.join(lines)}")
+
+
+@pytest.fixture(scope="module")
+def saved_index_dir(tmp_path_factory, setup):
+    data, quantizer = setup
+    index = build_memory(data.base, quantizer)
+    dirpath = tmp_path_factory.mktemp("netidx") / "memory"
+    save_index(index, dirpath)
+    return str(dirpath)
+
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.slow
+class TestGracefulShutdown:
+    def test_serve_shard_sigterm_exits_zero(self, setup, saved_index_dir):
+        data, _ = setup
+        proc = _spawn_cli(
+            ["serve-shard", "--dir", saved_index_dir], cwd=REPO_ROOT
+        )
+        try:
+            endpoint = _await_listening(proc, "listening on")
+            with ShardClient(endpoint) as client:
+                client.ping()
+                result = client.search(data.queries, 5, 16, {})
+                assert result.ids.shape == (data.queries.shape[0], 5)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_gateway_listen_sigterm_exits_zero(self, setup, saved_index_dir):
+        data, _ = setup
+        proc = _spawn_cli(
+            [
+                "experiment",
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--dir",
+                saved_index_dir,
+            ],
+            cwd=REPO_ROOT,
+        )
+        try:
+            address = _await_listening(proc, "gateway listening on")
+            with NetClient(address) as client:
+                request = SearchRequest(
+                    queries=data.queries, k=5, beam_width=16
+                )
+                response = client.search(request)
+                assert response.num_queries == data.queries.shape[0]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Acceptance matrix (slow lane): five scenarios + SIGKILL chaos
+# ----------------------------------------------------------------------
+
+
+SCENARIOS = [
+    ("memory", {}, None),
+    ("hybrid", {"io_width": 2}, None),
+    ("l2r", {"seed": 1}, None),
+    ("streaming", {"r": 8, "search_l": 16}, None),
+    ("filtered", {"num_labels": 3, "label_seed": 1}, 1),
+]
+
+
+def scenario_spec(kind: str, params: dict) -> IndexSpec:
+    return IndexSpec(
+        dataset=DatasetSpec(name="sift", n_base=160, n_queries=6, seed=5),
+        graph=GraphSpec(kind="vamana", params={"r": 8, "search_l": 16}),
+        quantizer=QuantizerSpec(kind="pq", num_chunks=8, num_codewords=16),
+        scenario=ScenarioSpec(kind=kind, params=params),
+        sharding=ShardingSpec(num_shards=2),
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "kind,params,label",
+    SCENARIOS,
+    ids=[kind for kind, _, _ in SCENARIOS],
+)
+def test_gateway_over_socket_workers_matches_in_process(
+    tmp_path, kind, params, label
+):
+    """The acceptance path: NetClient → gateway → socket shard workers
+    is bitwise identical to the in-process ShardedIndex, per scenario."""
+    spec = scenario_spec(kind, params)
+    index = build(spec)
+    queries = load("sift", n_base=160, n_queries=6, seed=5).queries
+    request = SearchRequest(
+        queries=queries, k=5, beam_width=16, labels=label
+    )
+    expected = index.search(request)
+    save_index(index, tmp_path)
+    index.close()
+
+    with contextlib.ExitStack() as stack:
+        workers = [
+            stack.enter_context(
+                LocalShardWorker(str(tmp_path / f"shard_{s:03d}"))
+            )
+            for s in range(2)
+        ]
+        remote = load_index(tmp_path)
+        stack.callback(remote.close)
+        remote.set_backend(
+            "socket", endpoints=[w.endpoint for w in workers]
+        )
+        # Tier 1: the socket fan-out alone.
+        assert_responses_identical(expected, remote.search(request))
+        # Tier 2: the full network path through the gateway.
+        gw = stack.enter_context(GatewayThread(remote))
+        with NetClient(gw.connect) as client:
+            assert_responses_identical(expected, client.search(request))
+
+
+@pytest.mark.slow
+def test_sigkill_socket_worker_fails_over_and_respawns(tmp_path, setup):
+    """SIGKILL one worker of a replicated socket fleet mid-load: zero
+    failed requests (in-request failover to the sibling), and the
+    supervisor + external respawner heal the fleet."""
+    data, quantizer = setup
+    sharded = ShardedIndex.build(
+        data.base, 2, lambda xs: build_memory(xs, quantizer)
+    )
+    expected = sharded.search_batch(data.queries, k=10, beam_width=24)
+    save_index(sharded, tmp_path)
+
+    with contextlib.ExitStack() as stack:
+        # Two distinct workers per shard: killing one must leave a
+        # live sibling to fail over to.
+        workers = {}
+        endpoints = []
+        for s in range(2):
+            row = []
+            for _ in range(2):
+                worker = stack.enter_context(
+                    LocalShardWorker(str(tmp_path / f"shard_{s:03d}"))
+                )
+                workers[worker.endpoint] = worker
+                row.append(worker.endpoint)
+            endpoints.append(row)
+        fleet = ShardedIndex(
+            sharded._shards,
+            global_ids=sharded._global_ids,
+            backend="socket",
+            replicas=2,
+            endpoints=endpoints,
+        )
+        stack.callback(fleet.close)
+
+        # Warm the fleet, then hand every replica its respawner (the
+        # stand-in for a real deployment's systemd/k8s restart).
+        np.testing.assert_array_equal(
+            expected.ids,
+            fleet.search_batch(data.queries, k=10, beam_width=24).ids,
+        )
+        for row in fleet._backend._fleet:
+            for replica in row:
+                replica._respawner = workers[replica.endpoint].respawn
+
+        victim = workers[endpoints[0][0]]
+        failed = 0
+        for i in range(6):
+            if i == 1:
+                victim.kill()
+            try:
+                result = fleet.search_batch(
+                    data.queries, k=10, beam_width=24
+                )
+            except Exception:
+                failed += 1
+                continue
+            np.testing.assert_array_equal(expected.ids, result.ids)
+            np.testing.assert_array_equal(
+                expected.distances, result.distances
+            )
+        assert failed == 0
+
+        # The supervisor runs respawn_and_verify -> the respawner
+        # boots a fresh worker process on the same port.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            rows = fleet.fleet_status()
+            if all(r["alive"] for r in rows) and any(
+                r["restarts"] > 0 for r in rows
+            ):
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail(
+                f"fleet did not heal: {fleet.fleet_status()}"
+            )
+        # And the healed fleet still answers identically.
+        np.testing.assert_array_equal(
+            expected.ids,
+            fleet.search_batch(data.queries, k=10, beam_width=24).ids,
+        )

@@ -406,57 +406,54 @@ class TestRemoteTracebacks:
 
     def test_send_error_attaches_traceback(self):
         from repro.serving.backends import _send_error
+        from repro.serving.net import framing
 
         sent = []
 
         class Conn:
-            def send(self, payload):
-                sent.append(payload)
+            def send_bytes(self, blob):
+                sent.append(blob)
 
         try:
             raise ValueError("original failure")
         except ValueError as exc:
             _send_error(Conn(), exc)
-        status, payload = sent[0]
-        assert status == "error"
+        kind, payload = framing.decode_reply(sent[0])
+        assert kind == "error"
         assert isinstance(payload, ValueError)
         assert "original failure" in payload.remote_traceback
         assert "Traceback" in payload.remote_traceback
 
-    def test_send_error_survives_unpicklable_and_closed_pipe(self):
+    def test_send_error_survives_unrenderable_and_closed_pipe(self):
         from repro.serving.backends import _send_error
+        from repro.serving.net import framing
 
-        class UnpicklableError(Exception):
-            def __reduce__(self):
-                raise TypeError("cannot pickle me")
+        class UnrenderableError(Exception):
+            """str() itself explodes — the frame codec cannot encode
+            the message, so _send_error must degrade, not raise."""
+
+            def __str__(self):
+                raise TypeError("cannot render me")
 
         sent = []
 
-        class FirstSendFails:
-            """Simulates conn.send choking on the payload itself."""
-
-            def __init__(self):
-                self.calls = 0
-
-            def send(self, payload):
-                self.calls += 1
-                if self.calls == 1:
-                    raise TypeError("cannot pickle me")
-                sent.append(payload)
+        class Conn:
+            def send_bytes(self, blob):
+                sent.append(blob)
 
         try:
-            raise UnpicklableError("original failure")
-        except UnpicklableError as exc:
-            _send_error(FirstSendFails(), exc)
-        status, payload = sent[0]
-        assert status == "error"
-        # Degraded to a picklable stand-in that still carries the
-        # original repr and the worker traceback.
-        assert "original failure" in repr(payload)
+            raise UnrenderableError()
+        except UnrenderableError as exc:
+            _send_error(Conn(), exc)
+        kind, payload = framing.decode_reply(sent[0])
+        assert kind == "error"
+        # Degraded to a frameable stand-in that still carries the
+        # original identity and the worker traceback.
+        assert "UnrenderableError" in str(payload)
         assert "Traceback" in payload.remote_traceback
 
         class ClosedPipe:
-            def send(self, payload):
+            def send_bytes(self, blob):
                 raise BrokenPipeError("pipe closed")
 
         # A fully closed pipe must not raise out of _send_error — that
