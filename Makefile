@@ -9,8 +9,8 @@ export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-fast test-batch test-build test-replication test-net \
 	chaos-smoke bench-batch bench-build bench-serving bench-kernel \
-	bench-load profile-kernel smoke smoke-examples smoke-net demo \
-	lint ci ci-full
+	bench-load bench-storage profile-kernel smoke smoke-examples \
+	smoke-net demo lint ci ci-full
 
 # Tier-1: the full test suite, stop on first failure.
 test:
@@ -74,6 +74,13 @@ bench-kernel:
 bench-load:
 	cd benchmarks && $(PYTHON) -m pytest bench_load.py -q
 
+# Storage v2: bytes-per-vector + cold-load timing for v1 vs v2 layouts
+# (five-scenario + sharded + replicated-fleet bitwise round-trips and
+# the copy-on-write guard always assert; the mmap-beats-deserialize
+# load gate honors REPRO_SKIP_SPEEDUP_GATES).  Emits BENCH_storage.json.
+bench-storage:
+	cd benchmarks && $(PYTHON) -m pytest bench_storage.py -q
+
 # Per-round kernel stage breakdown (gather/score/rank/truncate) — the
 # only entry point that turns the profiling hooks on.
 profile-kernel:
@@ -130,7 +137,7 @@ ci: lint test-fast chaos-smoke smoke-net smoke-examples
 ci-full: lint test test-replication test-net smoke-net smoke-examples
 	cd benchmarks && $(PYTHON) -m pytest bench_batch_throughput.py \
 		bench_build.py bench_serving.py bench_kernel.py \
-		bench_load.py -q
+		bench_load.py bench_storage.py -q
 
 demo:
 	$(PYTHON) -m repro.cli demo --batch-size 64

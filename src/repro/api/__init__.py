@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         load_index,
         save_index,
         saved_spec,
+        storage_report,
     )
     from .registry import (
         ScenarioHandler,
@@ -72,6 +73,7 @@ _PERSISTENCE_NAMES = {
     "load_index",
     "describe_index",
     "saved_spec",
+    "storage_report",
 }
 
 
@@ -114,4 +116,5 @@ __all__ = [
     "load_index",
     "describe_index",
     "saved_spec",
+    "storage_report",
 ]

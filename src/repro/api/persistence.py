@@ -2,7 +2,9 @@
 
 An index directory is self-describing and reconstructable in another
 process — the enabling step for process-backed shards and replication
-(see ROADMAP).  Layout::
+(see ROADMAP).  Two on-disk layouts exist, selected at save time:
+
+Format version 1 (``layout="npy"``, the default — loose files)::
 
     <dir>/
       index.json        # format version, scenario name, scenario state
@@ -16,34 +18,60 @@ process — the enabling step for process-backed shards and replication
                         # labels.npy (filtered), l2r_weights.npy (l2r),
                         # streaming_state.npz (streaming)
 
-    # sharded indexes add one sub-directory per shard:
+Format version 2 (``layout="mmap"`` — the storage-v2 container)::
+
+    <dir>/
+      index.json        # manifest: format_version 2 + "storage" block
+      spec.json         # unchanged
+      quantizer.npz     # unchanged (small, cold)
+      index.bin         # repro.storage container: every hot array
+                        # (codes, packed CSR adjacency incl. HNSW upper
+                        # layers, vectors, labels, l2r weights, rANS
+                        # payloads) at page-aligned offsets
+
+    # sharded indexes add one sub-directory per shard (either layout):
       shard_000/ ... shard_NNN/   # each a full index directory
       shard_000/global_ids.npy    # shard-local -> global id map
 
-Round-trip guarantee: every array is written exactly (codes, adjacency,
-codewords, vectors), so a loaded index answers any
+``save_index(..., compress=True, layout="mmap")`` additionally runs the
+PQ code matrices through :class:`repro.storage.EntropyCoder` (per-column
+rANS, frequency tables persisted beside the blob, exact round-trip
+validated before anything is written).  ``load_index`` auto-detects the
+format; v2 directories are memory-mapped read-only by default, so
+loading is O(1) in the array bytes and every process mapping the same
+directory shares page cache — this is how process/socket workers and
+replicas boot near-free.
+
+Round-trip guarantee (both formats): every array is restored exactly
+(codes, adjacency, codewords, vectors), so a loaded index answers any
 :class:`~repro.api.protocol.SearchRequest` bitwise identically to the
 live index it was saved from — pinned by ``tests/test_api_persistence``
-on all five scenarios and a sharded index.
+and ``tests/test_storage`` on all five scenarios, sharded, and
+replicated fleets.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from .registry import get_scenario, scenario_for_index
 from .spec import IndexSpec, ScenarioSpec, ShardingSpec
 
-INDEX_FORMAT_VERSION = 1
+#: Highest directory format this build reads.  Writers emit version 1
+#: for ``layout="npy"`` and version 2 for ``layout="mmap"``.
+INDEX_FORMAT_VERSION = 2
+
+_LAYOUT_VERSIONS = {"npy": 1, "mmap": 2}
 
 _INDEX_FILE = "index.json"
 _SPEC_FILE = "spec.json"
 _QUANTIZER_FILE = "quantizer.npz"
 _GRAPH_FILE = "graph.npz"
+_CONTAINER_FILE = "index.bin"
 
 
 def _shard_dirname(s: int) -> str:
@@ -83,17 +111,45 @@ def _save_spec(
     _write_json(os.path.join(dirpath, _SPEC_FILE), spec.to_dict())
 
 
-def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
+def _check_layout(layout: str, compress: bool) -> None:
+    if layout not in _LAYOUT_VERSIONS:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of "
+            f"{sorted(_LAYOUT_VERSIONS)}"
+        )
+    if compress and layout != "mmap":
+        raise ValueError(
+            "compress=True requires layout='mmap' (entropy-coded codes "
+            "live in the v2 container file)"
+        )
+
+
+def save_index(
+    index: object,
+    dirpath: Union[str, os.PathLike],
+    *,
+    compress: bool = False,
+    layout: str = "npy",
+) -> str:
     """Persist ``index`` (any registered scenario, or sharded) to a
     directory; returns the directory path.
+
+    ``layout="npy"`` writes the loose-file format 1 directory (the
+    default, unchanged from earlier releases).  ``layout="mmap"``
+    writes the format 2 container layout whose hot arrays load as
+    read-only memory maps; ``compress=True`` (v2 only) entropy-codes
+    the PQ code matrices, validating the exact round-trip before
+    anything is persisted.
 
     The directory is created if needed; existing files are overwritten
     (a save is a checkpoint, not a merge).
     """
     from ..serving import ShardedIndex
 
+    _check_layout(layout, compress)
     dirpath = os.fspath(dirpath)
     os.makedirs(dirpath, exist_ok=True)
+    version = _LAYOUT_VERSIONS[layout]
 
     if isinstance(index, ShardedIndex):
         names = set()
@@ -101,25 +157,25 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
             zip(index._shards, index._global_ids)
         ):
             shard_dir = os.path.join(dirpath, _shard_dirname(s))
-            save_index(shard, shard_dir)
+            save_index(shard, shard_dir, compress=compress, layout=layout)
             np.save(os.path.join(shard_dir, "global_ids.npy"), gids)
             names.add(scenario_for_index(shard).name)
-        _write_json(
-            os.path.join(dirpath, _INDEX_FILE),
-            {
-                "format_version": INDEX_FORMAT_VERSION,
-                "scenario": "sharded",
-                "state": {
-                    "num_shards": index.num_shards,
-                    "next_global": int(index._next_global),
-                    "max_workers": index._max_workers,
-                    "backend": index.backend,
-                    "replicas": index.replicas,
-                    "endpoints": index._endpoints,
-                    "shard_scenarios": sorted(names),
-                },
+        manifest = {
+            "format_version": version,
+            "scenario": "sharded",
+            "state": {
+                "num_shards": index.num_shards,
+                "next_global": int(index._next_global),
+                "max_workers": index._max_workers,
+                "backend": index.backend,
+                "replicas": index.replicas,
+                "endpoints": index._endpoints,
+                "shard_scenarios": sorted(names),
             },
-        )
+        }
+        if version >= 2:
+            manifest["storage"] = {"layout": layout, "compress": compress}
+        _write_json(os.path.join(dirpath, _INDEX_FILE), manifest)
         _save_spec(
             index,
             dirpath,
@@ -137,25 +193,108 @@ def save_index(index: object, dirpath: Union[str, os.PathLike]) -> str:
     save_quantizer(
         index.quantizer, os.path.join(dirpath, _QUANTIZER_FILE)
     )
-    if handler.needs_graph:
-        from ..graphs.serialization import save_graph
 
-        save_graph(index.graph, os.path.join(dirpath, _GRAPH_FILE))
-    state = handler.save_state(index, dirpath)
-    _write_json(
-        os.path.join(dirpath, _INDEX_FILE),
-        {
-            "format_version": INDEX_FORMAT_VERSION,
+    if layout == "mmap":
+        state, storage = _save_container(index, handler, dirpath, compress)
+        manifest = {
+            "format_version": version,
             "scenario": handler.name,
             "state": state,
-        },
-    )
+            "storage": storage,
+        }
+    else:
+        if handler.needs_graph:
+            from ..graphs.serialization import save_graph
+
+            save_graph(index.graph, os.path.join(dirpath, _GRAPH_FILE))
+        state = handler.save_state(index, dirpath)
+        manifest = {
+            "format_version": version,
+            "scenario": handler.name,
+            "state": state,
+        }
+    _write_json(os.path.join(dirpath, _INDEX_FILE), manifest)
     _save_spec(index, dirpath, handler.name)
     return dirpath
 
 
-def load_index(dirpath: Union[str, os.PathLike]) -> object:
-    """Reconstruct an index saved by :func:`save_index`.
+def _save_container(
+    index: object, handler, dirpath: str, compress: bool
+) -> tuple:
+    """Write the v2 container for an unsharded index; returns the
+    ``(state, storage)`` halves of the manifest."""
+    from ..storage import EntropyCoder, write_container
+
+    graph_meta = None
+    arrays: Dict[str, np.ndarray] = {}
+    if handler.needs_graph:
+        from ..graphs.serialization import graph_to_arrays
+
+        graph_meta, garrays = graph_to_arrays(index.graph)
+        arrays.update(garrays)
+    state, sarrays = handler.export_arrays(index)
+    for name in sarrays:
+        if name in arrays:
+            raise ValueError(
+                f"scenario array {name!r} collides with a graph section"
+            )
+    arrays.update(sarrays)
+
+    compressed: Dict[str, dict] = {}
+    if compress:
+        coder = EntropyCoder()
+        for name in handler.code_arrays:
+            codes = arrays.get(name)
+            # Degenerate matrices (empty streaming index) stay raw —
+            # there is nothing to code and the reader needs no table.
+            if codes is None or codes.ndim != 2 or codes.size == 0:
+                continue
+            comp = coder.compress(codes, verify=True)
+            del arrays[name]
+            arrays.update(comp.to_arrays(name))
+            compressed[name] = comp.meta()
+
+    container_path = os.path.join(dirpath, _CONTAINER_FILE)
+    section_bytes = write_container(
+        container_path,
+        arrays,
+        meta={"scenario": handler.name},
+    )
+    storage = {
+        "layout": "mmap",
+        "compress": bool(compress),
+        "container": _CONTAINER_FILE,
+        "graph": graph_meta,
+        "compressed": compressed,
+        "container_bytes": int(os.path.getsize(container_path)),
+        "section_bytes": section_bytes,
+    }
+    return state, storage
+
+
+class _ArraySource:
+    """What :meth:`ScenarioHandler.load_arrays` reads from: name →
+    array, plus whether those arrays are shared read-only map views."""
+
+    def __init__(self, get, mapped: bool) -> None:
+        self._get = get
+        self.mapped = bool(mapped)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._get(name)
+
+
+def load_index(
+    dirpath: Union[str, os.PathLike], *, mmap: Optional[bool] = None
+) -> object:
+    """Reconstruct an index saved by :func:`save_index` (either
+    format).
+
+    For format 2 directories the hot arrays are memory-mapped
+    read-only by default (``mmap=None``/``True``) — pass
+    ``mmap=False`` to read private in-memory copies instead (e.g. when
+    the directory is about to be deleted).  Format 1 directories
+    ignore ``mmap``.
 
     The loaded index carries the saved spec as ``index.spec`` and
     answers searches bitwise identically to the index that was saved.
@@ -183,7 +322,7 @@ def load_index(dirpath: Union[str, os.PathLike]) -> object:
         shards, global_ids = [], []
         for s in range(num_shards):
             shard_dir = os.path.join(dirpath, _shard_dirname(s))
-            shards.append(load_index(shard_dir))
+            shards.append(load_index(shard_dir, mmap=mmap))
             global_ids.append(
                 np.load(os.path.join(shard_dir, "global_ids.npy"))
             )
@@ -204,14 +343,50 @@ def load_index(dirpath: Union[str, os.PathLike]) -> object:
     from ..quantization import load_quantizer
 
     quantizer = load_quantizer(os.path.join(dirpath, _QUANTIZER_FILE))
-    graph = None
-    if handler.needs_graph:
-        from ..graphs.serialization import load_graph
 
-        graph = load_graph(os.path.join(dirpath, _GRAPH_FILE))
-    index = handler.load(dirpath, state, graph, quantizer)
+    if version >= 2:
+        index = _load_container(
+            meta, handler, dirpath, quantizer, mmap=mmap is not False
+        )
+    else:
+        graph = None
+        if handler.needs_graph:
+            from ..graphs.serialization import load_graph
+
+            graph = load_graph(os.path.join(dirpath, _GRAPH_FILE))
+        index = handler.load(dirpath, state, graph, quantizer)
     _attach_spec(index, dirpath)
     return index
+
+
+def _load_container(
+    meta: dict, handler, dirpath: str, quantizer, mmap: bool
+) -> object:
+    """Open the v2 container and rebuild the index over its sections."""
+    from ..storage import CompressedCodes, Container, EntropyCoder
+
+    storage = meta["storage"]
+    container = Container(
+        os.path.join(dirpath, storage.get("container", _CONTAINER_FILE)),
+        mmap=mmap,
+    )
+    compressed = storage.get("compressed", {})
+
+    def get(name: str) -> np.ndarray:
+        if name in compressed:
+            comp = CompressedCodes.from_arrays(
+                name, compressed[name], container.read
+            )
+            return EntropyCoder().decompress(comp)
+        return container.read(name)
+
+    graph = None
+    if handler.needs_graph:
+        from ..graphs.serialization import graph_from_arrays
+
+        graph = graph_from_arrays(storage["graph"], get)
+    source = _ArraySource(get, mapped=mmap)
+    return handler.load_arrays(meta.get("state", {}), source, graph, quantizer)
 
 
 def _attach_spec(index: object, dirpath: str) -> None:
@@ -231,3 +406,135 @@ def saved_spec(dirpath: Union[str, os.PathLike]) -> Optional[IndexSpec]:
     if not os.path.exists(path):
         return None
     return IndexSpec.from_dict(_read_json(path))
+
+
+# ----------------------------------------------------------------------
+# On-disk accounting (`index describe`, bench_storage)
+# ----------------------------------------------------------------------
+
+
+def _npy_shape_dtype(path: str):
+    arr = np.load(path, mmap_mode="r")
+    return arr.shape, arr.dtype
+
+
+def storage_report(dirpath: Union[str, os.PathLike]) -> dict:
+    """Per-component on-disk accounting for a saved index directory.
+
+    Works on both format versions (and sharded directories, where the
+    per-shard numbers are aggregated): component byte sizes, total
+    bytes, bytes-per-vector, and the stored-vs-raw compression ratio of
+    the PQ code matrices.  Byte counts are exact file/section sizes —
+    this is what ``repro index describe`` and ``bench_storage`` print.
+    """
+    dirpath = os.fspath(dirpath)
+    meta = describe_index(dirpath)
+    version = int(meta.get("format_version", 1))
+    scenario = meta["scenario"]
+
+    if scenario == "sharded":
+        components: Dict[str, int] = {}
+        num_vectors = 0
+        codes_stored = 0
+        codes_raw = 0
+        num_shards = int(meta["state"]["num_shards"])
+        for s in range(num_shards):
+            sub = storage_report(os.path.join(dirpath, _shard_dirname(s)))
+            for name, size in sub["components"].items():
+                key = f"{_shard_dirname(s)}/{name}"
+                components[key] = size
+            num_vectors += sub["num_vectors"]
+            codes_stored += sub["codes_stored_bytes"]
+            codes_raw += sub["codes_raw_bytes"]
+        for extra in (_INDEX_FILE, _SPEC_FILE):
+            path = os.path.join(dirpath, extra)
+            if os.path.exists(path):
+                components[extra] = os.path.getsize(path)
+        total = sum(components.values())
+        return {
+            "format_version": version,
+            "scenario": scenario,
+            "layout": meta.get("storage", {}).get("layout", "npy"),
+            "compress": bool(meta.get("storage", {}).get("compress", False)),
+            "num_shards": num_shards,
+            "components": components,
+            "total_bytes": int(total),
+            "num_vectors": int(num_vectors),
+            "bytes_per_vector": total / max(num_vectors, 1),
+            "codes_stored_bytes": int(codes_stored),
+            "codes_raw_bytes": int(codes_raw),
+            "codes_compression_ratio": codes_raw / max(codes_stored, 1),
+        }
+
+    components = {}
+    for name in sorted(os.listdir(dirpath)):
+        path = os.path.join(dirpath, name)
+        if os.path.isfile(path):
+            components[name] = os.path.getsize(path)
+
+    num_vectors = 0
+    codes_raw = 0
+    codes_stored = 0
+    if version >= 2:
+        storage = meta["storage"]
+        from ..storage import Container
+
+        container_name = storage.get("container", _CONTAINER_FILE)
+        container = Container(
+            os.path.join(dirpath, container_name), mmap=True
+        )
+        section_bytes = container.section_bytes()
+        # Replace the whole-file entry with its per-section breakdown
+        # (plus the header/alignment overhead) so totals stay exact.
+        container_total = components.pop(container_name, 0)
+        for name, size in section_bytes.items():
+            components[f"{container_name}:{name}"] = int(size)
+        overhead = container_total - sum(section_bytes.values())
+        components[f"{container_name}:header+padding"] = int(overhead)
+        compressed = storage.get("compressed", {})
+        if "codes" in compressed:
+            cmeta = compressed["codes"]
+            num_vectors = int(cmeta["num_rows"])
+            m = int(container.read("codes__rans_freqs").shape[0])
+            itemsize = np.dtype(str(cmeta["code_dtype"])).itemsize
+            codes_raw = num_vectors * m * itemsize
+            codes_stored = sum(
+                size
+                for name, size in section_bytes.items()
+                if name.startswith("codes__rans_")
+            )
+        elif "codes" in container:
+            codes = container.read("codes")
+            num_vectors = int(codes.shape[0])
+            codes_raw = codes_stored = int(codes.nbytes)
+        if not num_vectors and "vectors" in container:
+            num_vectors = int(container.read("vectors").shape[0])
+    else:
+        codes_path = os.path.join(dirpath, "codes.npy")
+        streaming_path = os.path.join(dirpath, "streaming_state.npz")
+        if os.path.exists(codes_path):
+            shape, dtype = _npy_shape_dtype(codes_path)
+            num_vectors = int(shape[0])
+            codes_raw = codes_stored = int(
+                int(np.prod(shape)) * dtype.itemsize
+            )
+        elif os.path.exists(streaming_path):
+            with np.load(streaming_path, allow_pickle=False) as data:
+                codes = data["codes"]
+                num_vectors = int(codes.shape[0])
+                codes_raw = codes_stored = int(codes.nbytes)
+
+    total = sum(components.values())
+    return {
+        "format_version": version,
+        "scenario": scenario,
+        "layout": meta.get("storage", {}).get("layout", "npy"),
+        "compress": bool(meta.get("storage", {}).get("compress", False)),
+        "components": components,
+        "total_bytes": int(total),
+        "num_vectors": int(num_vectors),
+        "bytes_per_vector": total / max(num_vectors, 1),
+        "codes_stored_bytes": int(codes_stored),
+        "codes_raw_bytes": int(codes_raw),
+        "codes_compression_ratio": codes_raw / max(codes_stored, 1),
+    }

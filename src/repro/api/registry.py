@@ -134,6 +134,10 @@ class ScenarioHandler:
         return labels
 
     # -- persistence ----------------------------------------------------
+    #: names returned by :meth:`export_arrays` that hold PQ code
+    #: matrices — the v2 save path may entropy-code exactly these
+    code_arrays: tuple = ()
+
     def save_state(self, index: object, dirpath: str) -> Dict[str, Any]:
         raise NotImplementedError
 
@@ -144,6 +148,28 @@ class ScenarioHandler:
         graph: object,
         quantizer: object,
     ) -> object:
+        raise NotImplementedError
+
+    # -- persistence, storage v2 (array-based) --------------------------
+    def export_arrays(self, index: object):
+        """Return ``(meta, arrays)``: the scenario's JSON-able state
+        plus every per-row array, named, for the v2 container file.
+        The same data :meth:`save_state` writes as loose ``.npy``
+        files, but with nothing touching disk here — the persistence
+        layer owns layout and compression."""
+        raise NotImplementedError
+
+    def load_arrays(
+        self,
+        meta: Dict[str, Any],
+        source,
+        graph: object,
+        quantizer: object,
+    ) -> object:
+        """Inverse of :meth:`export_arrays`.  ``source`` maps array
+        name → ndarray (read-only memmap views when the container was
+        opened mapped; ``source.mapped`` says which) and the result
+        must answer searches bitwise-identically to the saved index."""
         raise NotImplementedError
 
 
@@ -485,6 +511,28 @@ class MemoryScenario(ScenarioHandler):
             storage_dtype=np.dtype(meta["storage_dtype"]),
         )
 
+    code_arrays = ("codes",)
+
+    def export_arrays(self, index):
+        meta = {
+            "dim": int(index.dim),
+            "distance_mode": index.distance_mode,
+            "table_dtype": _dtype_name(index.table_dtype),
+            "storage_dtype": _dtype_name(index.storage_dtype),
+        }
+        return meta, {"codes": index.codes}
+
+    def load_arrays(self, meta, source, graph, quantizer):
+        return self.index_cls.from_state(
+            graph,
+            quantizer,
+            source["codes"],
+            dim=int(meta["dim"]),
+            distance_mode=meta["distance_mode"],
+            table_dtype=np.dtype(meta["table_dtype"]),
+            storage_dtype=np.dtype(meta["storage_dtype"]),
+        )
+
 
 @register_scenario("l2r")
 class L2RScenario(MemoryScenario):
@@ -529,6 +577,23 @@ class L2RScenario(MemoryScenario):
             quantizer,
             codes,
             weights=weights,
+            dim=int(meta["dim"]),
+            distance_mode=meta["distance_mode"],
+            table_dtype=np.dtype(meta["table_dtype"]),
+            storage_dtype=np.dtype(meta["storage_dtype"]),
+        )
+
+    def export_arrays(self, index):
+        meta, arrays = super().export_arrays(index)
+        arrays["l2r_weights"] = index.reweighter.weights
+        return meta, arrays
+
+    def load_arrays(self, meta, source, graph, quantizer):
+        return self.index_cls.from_state(
+            graph,
+            quantizer,
+            source["codes"],
+            weights=source["l2r_weights"],
             dim=int(meta["dim"]),
             distance_mode=meta["distance_mode"],
             table_dtype=np.dtype(meta["table_dtype"]),
@@ -638,6 +703,46 @@ class HybridScenario(ScenarioHandler):
             **kwargs,
         )
 
+    code_arrays = ("codes",)
+
+    def export_arrays(self, index):
+        reweighter = self._reweighter_of(index)
+        config = index.ssd.config
+        meta = {
+            "dim": int(index.dim),
+            "io_width": int(index.io_width),
+            "learned_routing": reweighter is not None,
+            "ssd": {
+                "read_latency_us": float(config.read_latency_us),
+                "queue_parallelism": int(config.queue_parallelism),
+                "page_bytes": int(config.page_bytes),
+            },
+        }
+        arrays = {"codes": index.codes, "vectors": index.ssd._vectors}
+        if reweighter is not None:
+            arrays["l2r_weights"] = reweighter.weights
+        return meta, arrays
+
+    def load_arrays(self, meta, source, graph, quantizer):
+        from ..index import SSDConfig
+
+        kwargs: Dict[str, Any] = {}
+        if meta.get("learned_routing"):
+            from ..index.l2r import LearnedRoutingReweighter
+
+            reweighter = LearnedRoutingReweighter(source["l2r_weights"])
+            kwargs["table_transform"] = reweighter.reweight
+            kwargs["table_transform_batch"] = reweighter.reweight_batch
+        return self.index_cls.from_state(
+            graph,
+            quantizer,
+            source["codes"],
+            source["vectors"],
+            ssd_config=SSDConfig(**meta["ssd"]),
+            io_width=int(meta["io_width"]),
+            **kwargs,
+        )
+
 
 @register_scenario("filtered")
 class FilteredScenario(ScenarioHandler):
@@ -681,6 +786,16 @@ class FilteredScenario(ScenarioHandler):
         codes = np.load(os.path.join(dirpath, "codes.npy"))
         labels = np.load(os.path.join(dirpath, "labels.npy"))
         return self.index_cls.from_state(graph, quantizer, codes, labels)
+
+    code_arrays = ("codes",)
+
+    def export_arrays(self, index):
+        return {}, {"codes": index.codes, "labels": index.labels}
+
+    def load_arrays(self, meta, source, graph, quantizer):
+        return self.index_cls.from_state(
+            graph, quantizer, source["codes"], source["labels"]
+        )
 
 
 @register_scenario("streaming")
@@ -764,3 +879,56 @@ class StreamingScenario(ScenarioHandler):
                 deleted=data["deleted"],
                 entry=None if entry < 0 else entry,
             )
+
+    code_arrays = ("codes",)
+
+    def export_arrays(self, index):
+        from ..graphs.packed import PackedAdjacency
+
+        # The live adjacency goes straight to packed CSR — storage v2
+        # has no (degrees, flat) ragged pair and no list-of-lists
+        # round-trip on the way back in.
+        packed = PackedAdjacency.from_lists(
+            [np.asarray(a, dtype=np.int64) for a in index._adjacency]
+        )
+        meta = {
+            "dim": int(index.dim),
+            "r": int(index.r),
+            "search_l": int(index.search_l),
+            "alpha": float(index.alpha),
+            "build_batch_size": int(index.build_batch_size),
+            "entry": -1 if index._entry is None else int(index._entry),
+        }
+        arrays = {
+            "vectors": np.asarray(index._vectors, dtype=np.float64).reshape(
+                len(index._vectors), index.dim
+            ),
+            "codes": np.asarray(index._codes),
+            "stream_neighbors": packed.neighbors,
+            "stream_offsets": packed.offsets,
+            "deleted": np.asarray(index._deleted, dtype=bool),
+        }
+        return meta, arrays
+
+    def load_arrays(self, meta, source, graph, quantizer):
+        from ..graphs.packed import PackedAdjacency
+
+        packed = PackedAdjacency(
+            neighbors=source["stream_neighbors"],
+            offsets=source["stream_offsets"],
+        )
+        entry = int(meta["entry"])
+        return self.index_cls.from_state(
+            quantizer,
+            dim=int(meta["dim"]),
+            r=int(meta["r"]),
+            search_l=int(meta["search_l"]),
+            alpha=float(meta["alpha"]),
+            build_batch_size=int(meta["build_batch_size"]),
+            vectors=source["vectors"],
+            codes=source["codes"],
+            adjacency=packed.to_lists(),
+            deleted=source["deleted"],
+            entry=None if entry < 0 else entry,
+            mapped=source.mapped,
+        )

@@ -573,19 +573,45 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.compress and args.layout != "mmap":
+            print(
+                "--compress requires --layout mmap (entropy-coded codes "
+                "live in the v2 container)",
+                file=sys.stderr,
+            )
+            return 2
         index = build(spec)
-        save_index(index, args.out)
+        save_index(index, args.out, compress=args.compress, layout=args.layout)
         print(
             f"built scenario={spec.scenario.kind} "
-            f"shards={spec.sharding.num_shards} -> {args.out}"
+            f"shards={spec.sharding.num_shards} "
+            f"layout={args.layout} compress={args.compress} -> {args.out}"
         )
         return 0
 
     if args.action == "describe":
+        from .api import storage_report
+
         meta = describe_index(args.dir)
         print(f"scenario: {meta['scenario']}")
+        print(f"format_version: {meta.get('format_version', 1)}")
         for key, value in sorted(meta.get("state", {}).items()):
             print(f"  {key}: {value}")
+        report = storage_report(args.dir)
+        print(
+            f"storage: layout={report['layout']} "
+            f"compress={report['compress']}"
+        )
+        for name, size in sorted(report["components"].items()):
+            print(f"  {name}: {size} bytes")
+        print(f"  total: {report['total_bytes']} bytes")
+        print(f"  vectors: {report['num_vectors']}")
+        print(f"  bytes/vector: {report['bytes_per_vector']:.1f}")
+        print(
+            f"  codes: {report['codes_stored_bytes']} stored / "
+            f"{report['codes_raw_bytes']} raw "
+            f"(ratio {report['codes_compression_ratio']:.2f}x)"
+        )
         spec = saved_spec(args.dir)
         if spec is not None:
             print("spec:")
@@ -947,6 +973,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers per shard recorded in the saved spec",
     )
     p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument(
+        "--layout",
+        choices=("npy", "mmap"),
+        default="npy",
+        help="on-disk layout: 'npy' (format 1, loose files) or 'mmap' "
+        "(format 2 container; loads/serves via read-only memory maps)",
+    )
+    p_build.add_argument(
+        "--compress",
+        action="store_true",
+        help="entropy-code the PQ code matrices (requires --layout "
+        "mmap; exact round-trip is validated at save time)",
+    )
     p_build.set_defaults(func=_cmd_index)
 
     p_search = index_sub.add_parser(

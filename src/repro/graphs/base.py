@@ -49,6 +49,39 @@ class ProximityGraph:
             if nbrs.size and (nbrs.min() < 0 or nbrs.max() >= n):
                 raise ValueError(f"vertex {v} has out-of-range neighbors")
 
+    @classmethod
+    def from_packed(
+        cls,
+        packed: PackedAdjacency,
+        entry_point: int = 0,
+        name: str = "pg",
+        **extra,
+    ) -> "ProximityGraph":
+        """Construct directly over a CSR view, skipping ``__post_init__``.
+
+        The mmap load path hands in a :class:`PackedAdjacency` whose
+        arrays are read-only views of an on-disk container; the
+        per-vertex range validation (an O(E) scan that would fault in
+        every adjacency page) is skipped — the writer only persists
+        graphs that already passed it.  ``adjacency`` becomes zero-copy
+        views into the packed neighbors array.  Extra keyword arguments
+        are set as attributes (HNSW's ``upper_layers``/``max_level``).
+        """
+        n = len(packed)
+        if not 0 <= int(entry_point) < max(n, 1):
+            raise ValueError(
+                f"entry_point {entry_point} out of range for {n} vertices"
+            )
+        graph = cls.__new__(cls)
+        graph.adjacency = packed.to_lists()
+        graph.entry_point = int(entry_point)
+        graph.name = str(name)
+        graph.build_stats = {}
+        graph._packed = packed
+        for key, value in extra.items():
+            setattr(graph, key, value)
+        return graph
+
     # ------------------------------------------------------------------
     def packed(self) -> PackedAdjacency:
         """The CSR view the search kernel routes over (built lazily,

@@ -21,7 +21,7 @@ without a repack.
 from __future__ import annotations
 
 import os
-from typing import List, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +30,10 @@ from .hnsw import HNSW
 from .packed import PackedAdjacency
 
 GRAPH_FORMAT_VERSION = 1
+
+# Version tag of the array-based (storage v2 container) graph encoding
+# produced by :func:`graph_to_arrays`.
+GRAPH_ARRAYS_VERSION = 2
 
 
 def _pack_ragged(lists: List[np.ndarray]):
@@ -53,6 +57,91 @@ def _unpack_ragged(degrees: np.ndarray, flat: np.ndarray) -> List[np.ndarray]:
         a.astype(np.int64, copy=False)
         for a in np.split(flat, np.cumsum(degrees)[:-1])
     ]
+
+
+def graph_to_arrays(
+    graph: ProximityGraph,
+) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+    """Serialize a built graph as ``(meta, arrays)`` in packed CSR form.
+
+    This is the storage-v2 encoding: the base layer goes out directly
+    as ``PackedAdjacency.neighbors``/``offsets`` — no ``(degrees,
+    flat)`` ragged pair and no list-of-lists round-trip — and each HNSW
+    upper layer becomes its own small CSR (``vertices`` in the layer's
+    insertion order plus ``neighbors``/``offsets``).  The arrays land
+    byte-for-byte in the container file, ready to be memory-mapped.
+    """
+    packed = graph.packed()
+    meta: Dict[str, object] = {
+        "graph_arrays_version": GRAPH_ARRAYS_VERSION,
+        "kind": "hnsw" if isinstance(graph, HNSW) else "pg",
+        "name": str(graph.name),
+        "entry_point": int(graph.entry_point),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "graph_neighbors": packed.neighbors,
+        "graph_offsets": packed.offsets,
+    }
+    if isinstance(graph, HNSW):
+        meta["max_level"] = int(graph.max_level)
+        meta["num_layers"] = len(graph.upper_layers)
+        for i, layer in enumerate(graph.upper_layers):
+            vertices = np.array(list(layer.keys()), dtype=np.int64)
+            lpacked = PackedAdjacency.from_lists(
+                [layer[int(v)] for v in vertices]
+            )
+            arrays[f"graph_layer{i}_vertices"] = vertices
+            arrays[f"graph_layer{i}_neighbors"] = lpacked.neighbors
+            arrays[f"graph_layer{i}_offsets"] = lpacked.offsets
+    return meta, arrays
+
+
+def graph_from_arrays(
+    meta: Dict[str, object], get: Callable[[str], np.ndarray]
+) -> ProximityGraph:
+    """Reconstruct a graph from :func:`graph_to_arrays` output.
+
+    ``get`` maps a section name to its array — typically read-only
+    ``np.memmap`` views of the container.  The packed CSR is adopted
+    as-is (``PackedAdjacency`` over int64-contiguous memmaps is
+    zero-copy) and per-vertex validation is skipped via
+    :meth:`ProximityGraph.from_packed`, so no adjacency page is
+    faulted in at load time.
+    """
+    version = int(meta.get("graph_arrays_version", 0))
+    if version > GRAPH_ARRAYS_VERSION:
+        raise ValueError(
+            f"graph arrays encoded with version {version}; this build "
+            f"reads up to {GRAPH_ARRAYS_VERSION}"
+        )
+    packed = PackedAdjacency(
+        neighbors=get("graph_neighbors"), offsets=get("graph_offsets")
+    )
+    kind = str(meta["kind"])
+    entry = int(meta["entry_point"])
+    name = str(meta["name"])
+    if kind == "pg":
+        return ProximityGraph.from_packed(packed, entry_point=entry, name=name)
+    if kind != "hnsw":
+        raise ValueError(f"unknown graph kind {kind!r}")
+    upper_layers = []
+    for i in range(int(meta["num_layers"])):
+        vertices = np.asarray(get(f"graph_layer{i}_vertices"))
+        lpacked = PackedAdjacency(
+            neighbors=get(f"graph_layer{i}_neighbors"),
+            offsets=get(f"graph_layer{i}_offsets"),
+        )
+        neighbor_lists = lpacked.to_lists()
+        upper_layers.append(
+            {int(v): nbrs for v, nbrs in zip(vertices, neighbor_lists)}
+        )
+    return HNSW.from_packed(
+        packed,
+        entry_point=entry,
+        name=name,
+        upper_layers=upper_layers,
+        max_level=int(meta["max_level"]),
+    )
 
 
 def save_graph(graph: ProximityGraph, path: Union[str, os.PathLike]) -> None:

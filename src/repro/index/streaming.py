@@ -207,6 +207,10 @@ class FreshVamanaIndex:
         self._adjacency: List[List[int]] = []
         self._deleted: List[bool] = []
         self._entry: Optional[int] = None
+        # True while vectors/codes rows are views of a read-only mmap
+        # (storage v2 load); the first mutation promotes them to
+        # private copies — see _promote_from_map.
+        self._mapped: bool = False
 
         # Hot-path amortizers: the packed CSR view of the live adjacency
         # (invalidated by every graph mutation), a cross-request table
@@ -236,10 +240,18 @@ class FreshVamanaIndex:
         deleted: np.ndarray,
         entry: Optional[int],
         seed: Optional[int] = 0,
+        mapped: bool = False,
     ) -> "FreshVamanaIndex":
         """Reconstruct a streaming index from persisted state: the live
         adjacency, codes, vectors, and tombstones are restored exactly,
-        so searches (and future inserts) continue bitwise identically."""
+        so searches (and future inserts) continue bitwise identically.
+
+        ``mapped=True`` marks ``vectors``/``codes`` as views of a
+        shared read-only memory map (the storage-v2 mmap load path);
+        the rows are adopted zero-copy and the first mutating call
+        promotes them to private memory instead of ever touching the
+        map (copy-on-write at index granularity).
+        """
         self = cls(
             quantizer,
             dim,
@@ -257,7 +269,24 @@ class FreshVamanaIndex:
         ]
         self._deleted = [bool(d) for d in np.asarray(deleted).reshape(-1)]
         self._entry = None if entry is None else int(entry)
+        self._mapped = bool(mapped)
         return self
+
+    def _promote_from_map(self) -> None:
+        """Copy-on-write promotion guard.
+
+        A mapped index shares its vector/code pages read-only with
+        every sibling replica (and with the on-disk container).  Any
+        mutation must therefore first detach: copy the rows into
+        private memory so the write path can never touch — or depend
+        on — the shared map.  Reads stay zero-copy forever; only the
+        first mutating call pays the copy.
+        """
+        if not self._mapped:
+            return
+        self._vectors = [np.array(row, dtype=np.float64) for row in self._vectors]
+        self._codes = [np.array(row) for row in self._codes]
+        self._mapped = False
 
     # ------------------------------------------------------------------
     @property
@@ -315,6 +344,7 @@ class FreshVamanaIndex:
 
     def insert(self, vector: np.ndarray) -> int:
         """Add one vector; returns its vertex id."""
+        self._promote_from_map()
         vector = self._check_dim(vector)
         if self._entry is None:
             return self._apply_insert(vector, None)
@@ -335,6 +365,7 @@ class FreshVamanaIndex:
         adjacency list their trajectory read, so the resulting graph is
         bitwise identical to looping :meth:`insert`.
         """
+        self._promote_from_map()
         rows = [self._check_dim(v) for v in np.atleast_2d(vectors)]
         ids: List[int] = []
         epoch = 0
@@ -405,6 +436,7 @@ class FreshVamanaIndex:
             raise KeyError(f"no vertex {vertex}")
         if self._deleted[vertex]:
             raise KeyError(f"vertex {vertex} already deleted")
+        self._promote_from_map()
         self._deleted[vertex] = True
 
     def consolidate(self) -> int:
@@ -419,6 +451,7 @@ class FreshVamanaIndex:
         deleted = {v for v, dead in enumerate(self._deleted) if dead}
         if not deleted:
             return 0
+        self._promote_from_map()
         self._packed = None  # edge inheritance rewrites adjacency
         x = np.asarray(self._vectors)
         for v in range(self.num_vertices):

@@ -412,10 +412,11 @@ class ReplicatedBackend(ShardBackend):
             try:
                 dirs = []
                 for s, shard in enumerate(self._shards):
-                    # One save per shard; all of its replicas load the
-                    # same directory (ship once, boot N times).
+                    # One save per shard; all of its replicas map the
+                    # same read-only container (ship once, boot N
+                    # times, one shared page cache).
                     shard_dir = os.path.join(tmpdir, f"shard_{s:03d}")
-                    save_index(shard, shard_dir)
+                    save_index(shard, shard_dir, layout="mmap")
                     dirs.append(shard_dir)
                 for s, shard_dir in enumerate(dirs):
                     row = [
@@ -505,6 +506,7 @@ class ReplicatedBackend(ShardBackend):
                     save_index(
                         self._shards[s],
                         os.path.join(self._tmpdir, f"shard_{s:03d}"),
+                        layout="mmap",
                     )
                 except BaseException:
                     # Unsaveable state: every replica of every shard may
